@@ -1,0 +1,69 @@
+// Shared helpers for the experiment harness (E1–E8).
+//
+// Conventions: every binary prints the host topology once (single-core
+// hosts interleave preemptively — see EXPERIMENTS.md), reports items/sec
+// via state.SetItemsProcessed, and attaches primitive-operation counts from
+// dcd::dcas::Telemetry where they are exact (single-threaded runs).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdint>
+
+#include "dcd/dcas/telemetry.hpp"
+#include "dcd/deque/types.hpp"
+#include "dcd/util/rng.hpp"
+#include "dcd/util/topology.hpp"
+
+namespace dcd::bench {
+
+inline void print_topology_once() {
+  static const bool done = [] {
+    std::printf("# %s\n", util::probe_topology().describe().c_str());
+    return true;
+  }();
+  (void)done;
+}
+
+// Pre-fills a deque to `n` items via push_right.
+template <typename D>
+void fill(D& d, std::size_t n, std::uint64_t base = 1) {
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)d.push_right(base + i);
+  }
+}
+
+// One op of a mixed workload; returns +1/-1/0 population delta.
+template <typename D>
+int mixed_op(D& d, util::Xoshiro256& rng, std::uint64_t value) {
+  switch (rng.below(4)) {
+    case 0:
+      return d.push_right(value) == deque::PushResult::kOkay ? 1 : 0;
+    case 1:
+      return d.push_left(value) == deque::PushResult::kOkay ? 1 : 0;
+    case 2:
+      return d.pop_right().has_value() ? -1 : 0;
+    default:
+      return d.pop_left().has_value() ? -1 : 0;
+  }
+}
+
+// Attaches exact per-op DCAS/CAS/load counters to a *single-threaded*
+// benchmark: call reset_telemetry() before the loop and
+// report_telemetry(state) after it.
+inline void reset_telemetry() { dcas::Telemetry::reset(); }
+
+inline void report_telemetry(benchmark::State& state) {
+  const dcas::Counters c = dcas::Telemetry::snapshot();
+  const auto iters = static_cast<double>(state.iterations());
+  if (iters == 0) return;
+  state.counters["dcas/op"] =
+      static_cast<double>(c.dcas_calls) / iters;
+  state.counters["dcas_fail/op"] =
+      static_cast<double>(c.dcas_failures) / iters;
+  state.counters["cas/op"] = static_cast<double>(c.cas_ops) / iters;
+  state.counters["load/op"] = static_cast<double>(c.loads) / iters;
+}
+
+}  // namespace dcd::bench

@@ -1,0 +1,82 @@
+// E3 — the cost of the pop-splitting technique (§1.2).
+//
+// "The cost of this splitting technique is an extra DCAS per pop
+//  operation. The benefit is that it allows non-blocking completion
+//  without needing to synchronize on both of the deque's end pointers
+//  with a DCAS."
+//
+// Single-threaded (so Telemetry counters are exact), we measure push+pop
+// pairs and report dcas/op. Expected shape: the array deque spends 1 DCAS
+// per op; the list deque spends 1 DCAS per push plus ~2 per pop (logical
+// delete + the physical delete performed by the next same-side operation) —
+// i.e. the "extra DCAS per pop" the paper predicts, visible directly in the
+// dcas/op counter.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "dcd/deque/array_deque.hpp"
+#include "dcd/deque/list_deque.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::bench::print_topology_once;
+using dcd::bench::report_telemetry;
+using dcd::bench::reset_telemetry;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+
+// One iteration = one push_right + one pop_right (steady state around a
+// small population so boundary cases are rare).
+template <typename D>
+void BM_PushPopPair(benchmark::State& state) {
+  print_topology_once();
+  D d(1 << 10);
+  for (int i = 0; i < 16; ++i) (void)d.push_right(i + 1);
+  reset_telemetry();
+  for (auto _ : state) {
+    (void)d.push_right(7);
+    benchmark::DoNotOptimize(d.pop_right());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  report_telemetry(state);
+}
+
+// FIFO traffic (push right, pop left) exercises both sides' delete paths.
+template <typename D>
+void BM_FifoPair(benchmark::State& state) {
+  D d(1 << 10);
+  for (int i = 0; i < 16; ++i) (void)d.push_right(i + 1);
+  reset_telemetry();
+  for (auto _ : state) {
+    (void)d.push_right(7);
+    benchmark::DoNotOptimize(d.pop_left());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  report_telemetry(state);
+}
+
+#define E3(D, tag)                                              \
+  BENCHMARK(BM_PushPopPair<D>)->Name("E3_LifoPair/" tag);       \
+  BENCHMARK(BM_FifoPair<D>)->Name("E3_FifoPair/" tag);
+
+using ArrayGlobal = ArrayDeque<std::uint64_t, GlobalLockDcas>;
+using ArrayStriped = ArrayDeque<std::uint64_t, StripedLockDcas>;
+using ArrayMcas = ArrayDeque<std::uint64_t, McasDcas>;
+using ListGlobal = ListDeque<std::uint64_t, GlobalLockDcas>;
+using ListStriped = ListDeque<std::uint64_t, StripedLockDcas>;
+using ListMcas = ListDeque<std::uint64_t, McasDcas>;
+
+E3(ArrayGlobal, "array_global_lock")
+E3(ListGlobal, "list_global_lock")
+E3(ArrayStriped, "array_striped_lock")
+E3(ListStriped, "list_striped_lock")
+E3(ArrayMcas, "array_mcas")
+E3(ListMcas, "list_mcas")
+
+#undef E3
+
+}  // namespace

@@ -1,0 +1,127 @@
+// E4 — the §3 optimisation ablation.
+//
+// "We note that the algorithm would still be correct if line 7, and/or
+//  lines 17 and 18, were deleted. ... While both of these code fragments
+//  may avoid overhead in some cases, there is also overhead associated
+//  with including them. Experimentation would be required to determine
+//  whether either or both of these code fragments should be included for a
+//  specific application and system context."
+//
+// This is that experiment. The four option combinations run three
+// workloads:
+//   EmptyHeavy — pops against a (mostly) empty deque: line 7's recheck and
+//                lines 17-18's early-empty detection should pay off here;
+//   FullHeavy  — pushes against a (mostly) full deque: symmetric;
+//   Steady     — push+pop pairs mid-deque: the options are pure overhead
+//                (lines 17-18 force the expensive strong DCAS form, which
+//                for the MCAS emulation means snapshot loops on failure).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "dcd/deque/array_deque.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::bench::print_topology_once;
+using dcd::bench::report_telemetry;
+using dcd::bench::reset_telemetry;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+
+constexpr ArrayOptions kBoth{true, true};
+constexpr ArrayOptions kNeither{false, false};
+constexpr ArrayOptions kRecheckOnly{true, false};
+constexpr ArrayOptions kViewOnly{false, true};
+
+template <typename P, ArrayOptions O>
+void BM_EmptyHeavy(benchmark::State& state) {
+  print_topology_once();
+  ArrayDeque<std::uint64_t, P, O> d(64);
+  reset_telemetry();
+  // 7 pops against empty for each push+pop that actually moves data.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.pop_right());
+    benchmark::DoNotOptimize(d.pop_left());
+    benchmark::DoNotOptimize(d.pop_right());
+    (void)d.push_right(5);
+    benchmark::DoNotOptimize(d.pop_left());
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+  report_telemetry(state);
+}
+
+template <typename P, ArrayOptions O>
+void BM_FullHeavy(benchmark::State& state) {
+  ArrayDeque<std::uint64_t, P, O> d(16);
+  for (int i = 0; i < 16; ++i) (void)d.push_right(i + 1);
+  reset_telemetry();
+  for (auto _ : state) {
+    (void)d.push_right(9);
+    (void)d.push_left(9);
+    (void)d.push_right(9);
+    benchmark::DoNotOptimize(d.pop_left());
+    (void)d.push_left(9);
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+  report_telemetry(state);
+}
+
+template <typename P, ArrayOptions O>
+void BM_Steady(benchmark::State& state) {
+  ArrayDeque<std::uint64_t, P, O> d(1 << 10);
+  for (int i = 0; i < 64; ++i) (void)d.push_right(i + 1);
+  reset_telemetry();
+  for (auto _ : state) {
+    (void)d.push_right(7);
+    benchmark::DoNotOptimize(d.pop_left());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  report_telemetry(state);
+}
+
+// Contended steady-state: 2 threads share the right end; failed DCASes are
+// where the failure_view option changes the retry path.
+template <typename P, ArrayOptions O>
+void BM_ContendedEnd(benchmark::State& state) {
+  static ArrayDeque<std::uint64_t, P, O>* d = nullptr;
+  if (state.thread_index() == 0) {
+    d = new ArrayDeque<std::uint64_t, P, O>(1 << 10);
+    for (int i = 0; i < 64; ++i) (void)d->push_right(i + 1);
+  }
+  for (auto _ : state) {
+    (void)d->push_right(7);
+    benchmark::DoNotOptimize(d->pop_right());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  if (state.thread_index() == 0) {
+    delete d;
+    d = nullptr;
+  }
+}
+
+#define E4_ROW(P, O, ptag, otag)                                       \
+  BENCHMARK_TEMPLATE(BM_EmptyHeavy, P, O)                              \
+      ->Name("E4_EmptyHeavy/" ptag "/" otag);                          \
+  BENCHMARK_TEMPLATE(BM_FullHeavy, P, O)                               \
+      ->Name("E4_FullHeavy/" ptag "/" otag);                           \
+  BENCHMARK_TEMPLATE(BM_Steady, P, O)->Name("E4_Steady/" ptag "/" otag); \
+  BENCHMARK_TEMPLATE(BM_ContendedEnd, P, O)                            \
+      ->Name("E4_Contended/" ptag "/" otag)                            \
+      ->Threads(2)                                                     \
+      ->UseRealTime();
+
+E4_ROW(GlobalLockDcas, kBoth, "global_lock", "recheck+view")
+E4_ROW(GlobalLockDcas, kRecheckOnly, "global_lock", "recheck_only")
+E4_ROW(GlobalLockDcas, kViewOnly, "global_lock", "view_only")
+E4_ROW(GlobalLockDcas, kNeither, "global_lock", "neither")
+E4_ROW(McasDcas, kBoth, "mcas", "recheck+view")
+E4_ROW(McasDcas, kRecheckOnly, "mcas", "recheck_only")
+E4_ROW(McasDcas, kViewOnly, "mcas", "view_only")
+E4_ROW(McasDcas, kNeither, "mcas", "neither")
+
+#undef E4_ROW
+
+}  // namespace

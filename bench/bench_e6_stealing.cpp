@@ -1,0 +1,161 @@
+// E6 — the load-balancing application (§1).
+//
+// "Deques ... currently used in load balancing algorithms [4]" — the
+// paper's motivating workload, and the home turf of its related-work
+// comparator: Arora-Blumofe-Plaxton's restricted CAS-only deque. Each
+// iteration runs a complete fork-join tree to exhaustion over W workers;
+// owners pop/push their own right end, idle workers steal the victim's left
+// end. Expected shape: ABP wins (its restricted semantics exist for exactly
+// this workload); among the general deques the array beats the list
+// (no allocation), and lock-emulated DCAS beats MCAS (descriptor tax).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dcd/baseline/arora_deque.hpp"
+#include "dcd/deque/array_deque.hpp"
+#include "dcd/deque/list_deque.hpp"
+#include "dcd/util/barrier.hpp"
+#include "dcd/util/rng.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::bench::print_topology_once;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+
+constexpr int kWorkers = 3;
+constexpr std::uint64_t kSeedTasks = 16;
+constexpr std::uint64_t kDepth = 6;  // 16 * 2^6 = 1024 leaf tasks
+
+std::uint64_t make_task(std::uint64_t depth, std::uint64_t weight) {
+  return (depth << 32) | weight;
+}
+
+// Generic run over (pop_own, push_own, steal) closures; returns leaf count.
+template <typename Deques, typename PopOwn, typename PushOwn, typename Steal>
+std::uint64_t run_tree(Deques& deques, PopOwn pop_own, PushOwn push_own,
+                       Steal steal) {
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::int64_t> outstanding{0};
+  for (std::uint64_t i = 0; i < kSeedTasks; ++i) {
+    outstanding.fetch_add(1);
+    push_own(static_cast<int>(i % kWorkers), make_task(kDepth, i + 1));
+  }
+  dcd::util::SpinBarrier barrier(kWorkers);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      dcd::util::Xoshiro256 rng(w + 1);
+      barrier.arrive_and_wait();
+      while (outstanding.load(std::memory_order_acquire) > 0) {
+        std::optional<std::uint64_t> task = pop_own(w);
+        if (!task) task = steal(static_cast<int>(rng.below(kWorkers)));
+        if (!task) {
+          std::this_thread::yield();
+          continue;
+        }
+        const std::uint64_t depth = *task >> 32;
+        if (depth == 0) {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        } else {
+          outstanding.fetch_add(1, std::memory_order_acq_rel);
+          const std::uint64_t child =
+              make_task(depth - 1, *task & 0xffffffffull);
+          push_own(w, child);
+          push_own(w, child);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  (void)deques;
+  return executed.load();
+}
+
+template <typename D>
+void BM_StealTreeGeneral(benchmark::State& state) {
+  print_topology_once();
+  std::uint64_t leaves = 0;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<D>> deques;
+    for (int w = 0; w < kWorkers; ++w) {
+      deques.push_back(std::make_unique<D>(1 << 14));
+    }
+    leaves = run_tree(
+        deques, [&](int w) { return deques[w]->pop_right(); },
+        [&](int w, std::uint64_t t) {
+          while (deques[w]->push_right(t) != PushResult::kOkay) {
+            std::this_thread::yield();
+          }
+        },
+        [&](int v) { return deques[v]->pop_left(); });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(leaves));
+  state.counters["leaf_tasks"] = static_cast<double>(leaves);
+}
+
+void BM_StealTreeAbp(benchmark::State& state) {
+  using D = dcd::baseline::AroraDeque<std::uint64_t>;
+  std::uint64_t leaves = 0;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<D>> deques;
+    for (int w = 0; w < kWorkers; ++w) {
+      deques.push_back(std::make_unique<D>(1 << 14));
+    }
+    leaves = run_tree(
+        deques, [&](int w) { return deques[w]->pop_bottom(); },
+        [&](int w, std::uint64_t t) {
+          while (deques[w]->push_bottom(t) != PushResult::kOkay) {
+            std::this_thread::yield();
+          }
+        },
+        [&](int v) { return deques[v]->steal(); });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(leaves));
+  state.counters["leaf_tasks"] = static_cast<double>(leaves);
+}
+
+using ArrayGlobal = ArrayDeque<std::uint64_t, GlobalLockDcas>;
+using ArrayStriped = ArrayDeque<std::uint64_t, StripedLockDcas>;
+using ArrayMcas = ArrayDeque<std::uint64_t, McasDcas>;
+using ListGlobal = ListDeque<std::uint64_t, GlobalLockDcas>;
+using ListMcas = ListDeque<std::uint64_t, McasDcas>;
+
+BENCHMARK_TEMPLATE(BM_StealTreeGeneral, ArrayGlobal)
+    ->Name("E6_StealTree/array_global_lock")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_StealTreeGeneral, ArrayStriped)
+    ->Name("E6_StealTree/array_striped_lock")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_StealTreeGeneral, ArrayMcas)
+    ->Name("E6_StealTree/array_mcas")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_StealTreeGeneral, ListGlobal)
+    ->Name("E6_StealTree/list_global_lock")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_StealTreeGeneral, ListMcas)
+    ->Name("E6_StealTree/list_mcas")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_StealTreeAbp)
+    ->Name("E6_StealTree/baseline_abp")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace

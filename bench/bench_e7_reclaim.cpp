@@ -1,0 +1,164 @@
+// E7 — the GC substitution (§2 footnote 2, related work [12]/[24]).
+//
+// "We assume the availability of a storage allocation/collection mechanism
+//  as in Lisp and the Java programming language. ... the problem of
+//  implementing a non-blocking storage allocator is not addressed in this
+//  paper but would need to be solved."
+//
+// We solved it with EBR + a pooled allocator; this experiment prices that
+// decision: ListDeque over {EBR, leaky} reclamation, pool vs general-heap
+// allocation microbenches, and the raw cost of the EBR machinery (guard
+// pin/unpin, retire+collect). The Hat-Trick follow-up [24] argues bulk
+// allocation matters — the pool-vs-malloc rows quantify why.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "dcd/deque/list_deque.hpp"
+#include "dcd/reclaim/ebr.hpp"
+#include "dcd/reclaim/lfrc.hpp"
+#include "dcd/reclaim/node_pool.hpp"
+#include "dcd/reclaim/tagged_pool.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::bench::print_topology_once;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::reclaim::EbrDomain;
+using dcd::reclaim::EbrReclaim;
+using dcd::reclaim::LeakyReclaim;
+using dcd::reclaim::NodePool;
+
+// FIFO cycling: every op allocates or retires a node, the reclamation-
+// heaviest traffic pattern. Leaky variants need a pool that outlives the
+// run, so they use a large pool and we cap iterations.
+template <typename P, typename R>
+void BM_ListFifoCycle(benchmark::State& state) {
+  print_topology_once();
+  // Pool size from the benchmark arg: EBR recycles through a modest pool;
+  // the leaky variant burns one node per push, so it gets a large pool and
+  // a fixed iteration budget below it.
+  ListDeque<std::uint64_t, P, R> d(static_cast<std::size_t>(state.range(0)));
+  for (int i = 0; i < 16; ++i) (void)d.push_right(i + 1);
+  for (auto _ : state) {
+    (void)d.push_right(7);
+    benchmark::DoNotOptimize(d.pop_left());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["pool_live"] = static_cast<double>(d.pool().live());
+}
+
+constexpr std::int64_t kEbrPool = 1 << 14;
+constexpr std::int64_t kLeakyPool = 1 << 19;
+constexpr std::int64_t kLeakyIters = (1 << 18) - 64;
+
+BENCHMARK_TEMPLATE(BM_ListFifoCycle, GlobalLockDcas, EbrReclaim)
+    ->Name("E7_ListFifo/global_lock/ebr")
+    ->Arg(kEbrPool);
+BENCHMARK_TEMPLATE(BM_ListFifoCycle, GlobalLockDcas, LeakyReclaim)
+    ->Name("E7_ListFifo/global_lock/leaky")
+    ->Arg(kLeakyPool)
+    ->Iterations(kLeakyIters);
+BENCHMARK_TEMPLATE(BM_ListFifoCycle, McasDcas, EbrReclaim)
+    ->Name("E7_ListFifo/mcas/ebr")
+    ->Arg(kEbrPool);
+BENCHMARK_TEMPLATE(BM_ListFifoCycle, McasDcas, LeakyReclaim)
+    ->Name("E7_ListFifo/mcas/leaky")
+    ->Arg(kLeakyPool)
+    ->Iterations(kLeakyIters);
+
+// Allocator comparison: pooled free list vs the general-purpose heap.
+void BM_PoolAllocFree(benchmark::State& state) {
+  NodePool pool(192, 1 << 10);
+  for (auto _ : state) {
+    void* p = pool.allocate();
+    benchmark::DoNotOptimize(p);
+    pool.deallocate(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAllocFree)->Name("E7_Alloc/pool");
+
+void BM_HeapAllocFree(benchmark::State& state) {
+  for (auto _ : state) {
+    void* p = ::operator new(192);
+    benchmark::DoNotOptimize(p);
+    ::operator delete(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapAllocFree)->Name("E7_Alloc/heap");
+
+// EBR machinery costs.
+void BM_EbrGuard(benchmark::State& state) {
+  EbrDomain domain;
+  for (auto _ : state) {
+    EbrDomain::Guard guard(domain);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EbrGuard)->Name("E7_Ebr/guard_pin_unpin");
+
+void BM_EbrNestedGuard(benchmark::State& state) {
+  EbrDomain domain;
+  EbrDomain::Guard outer(domain);
+  for (auto _ : state) {
+    EbrDomain::Guard guard(domain);  // nested: counter bump only
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EbrNestedGuard)->Name("E7_Ebr/nested_guard");
+
+// LFRC ([12]'s methodology) priced against EBR: per-element push+pop cost
+// on the LFRC stack (every pointer move touches counts; loads pay a DCAS)
+// vs the same traffic on an EBR-guarded structure (E7_ListFifo above).
+template <typename P>
+void BM_LfrcStackCycle(benchmark::State& state) {
+  dcd::reclaim::LfrcStack<std::uint64_t, P> s(1 << 12);
+  for (int i = 0; i < 16; ++i) (void)s.push(i + 1);
+  std::uint64_t v;
+  for (auto _ : state) {
+    (void)s.push(7);
+    benchmark::DoNotOptimize(s.pop(&v));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK_TEMPLATE(BM_LfrcStackCycle, GlobalLockDcas)
+    ->Name("E7_Lfrc/stack_cycle/global_lock");
+BENCHMARK_TEMPLATE(BM_LfrcStackCycle, McasDcas)
+    ->Name("E7_Lfrc/stack_cycle/mcas");
+
+void BM_TaggedPoolAllocFree(benchmark::State& state) {
+  dcd::reclaim::TaggedNodePool pool(192, 1 << 10);
+  for (auto _ : state) {
+    void* p = pool.allocate();
+    benchmark::DoNotOptimize(p);
+    pool.deallocate(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaggedPoolAllocFree)->Name("E7_Alloc/tagged_pool");
+
+void BM_EbrRetireCycle(benchmark::State& state) {
+  // Order matters: the domain's destructor drains retired nodes back into
+  // the pool, so the pool must outlive the domain.
+  NodePool pool(64, 1 << 12);
+  EbrDomain domain;
+  for (auto _ : state) {
+    EbrDomain::Guard guard(domain);
+    void* p = pool.allocate();
+    if (p != nullptr) {
+      domain.retire(p, NodePool::deallocate_cb, &pool);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pending"] = static_cast<double>(domain.pending_count());
+}
+BENCHMARK(BM_EbrRetireCycle)->Name("E7_Ebr/retire_reclaim_cycle");
+
+}  // namespace

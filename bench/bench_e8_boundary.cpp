@@ -1,0 +1,108 @@
+// E8 — boundary-case cost ("the tricky boundary cases", §1.2/§3).
+//
+// The paper's claim is qualitative: the algorithms return appropriate
+// exceptions "in the tricky boundary cases when the deque is empty or
+// full" while keeping the common case fast. This experiment prices those
+// boundary returns: an empty pop / full push still costs a confirming DCAS
+// (it cannot be answered from a plain read), so boundary-heavy traffic is
+// *not* cheaper than useful work on emulated DCAS. Rows compare
+// empty-pop / full-push / steady-state op cost, single-threaded (exact
+// telemetry) and with 2 threads hammering the same boundary.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "dcd/deque/array_deque.hpp"
+#include "dcd/deque/list_deque.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::bench::print_topology_once;
+using dcd::bench::report_telemetry;
+using dcd::bench::reset_telemetry;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+
+template <typename D>
+void BM_EmptyPop(benchmark::State& state) {
+  print_topology_once();
+  D d(64);
+  reset_telemetry();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.pop_right());
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_telemetry(state);
+}
+
+template <typename D>
+void BM_FullPush(benchmark::State& state) {
+  D d(64);
+  for (int i = 0; i < 64; ++i) (void)d.push_right(i + 1);
+  reset_telemetry();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.push_right(9));
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_telemetry(state);
+}
+
+template <typename D>
+void BM_SteadyOp(benchmark::State& state) {
+  D d(64);
+  for (int i = 0; i < 32; ++i) (void)d.push_right(i + 1);
+  reset_telemetry();
+  for (auto _ : state) {
+    (void)d.push_right(7);
+    benchmark::DoNotOptimize(d.pop_right());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  report_telemetry(state);
+}
+
+// Two threads both popping an empty deque: the boundary-confirming DCASes
+// contend on {R, S[R-1]} even though no data moves.
+template <typename D>
+void BM_EmptyPopContended(benchmark::State& state) {
+  static D* d = nullptr;
+  if (state.thread_index() == 0) {
+    d = new D(64);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state.thread_index() % 2 == 0 ? d->pop_right()
+                                                           : d->pop_left());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete d;
+    d = nullptr;
+  }
+}
+
+using ArrayGlobal = ArrayDeque<std::uint64_t, GlobalLockDcas>;
+using ArrayStriped = ArrayDeque<std::uint64_t, StripedLockDcas>;
+using ArrayMcas = ArrayDeque<std::uint64_t, McasDcas>;
+using ListGlobal = ListDeque<std::uint64_t, GlobalLockDcas>;
+using ListMcas = ListDeque<std::uint64_t, McasDcas>;
+
+#define E8_ARRAY(D, tag)                                            \
+  BENCHMARK_TEMPLATE(BM_EmptyPop, D)->Name("E8_EmptyPop/" tag);     \
+  BENCHMARK_TEMPLATE(BM_FullPush, D)->Name("E8_FullPush/" tag);     \
+  BENCHMARK_TEMPLATE(BM_SteadyOp, D)->Name("E8_Steady/" tag);       \
+  BENCHMARK_TEMPLATE(BM_EmptyPopContended, D)                       \
+      ->Name("E8_EmptyPop2T/" tag)                                  \
+      ->Threads(2)                                                  \
+      ->UseRealTime();
+
+E8_ARRAY(ArrayGlobal, "array_global_lock")
+E8_ARRAY(ArrayStriped, "array_striped_lock")
+E8_ARRAY(ArrayMcas, "array_mcas")
+E8_ARRAY(ListGlobal, "list_global_lock")
+E8_ARRAY(ListMcas, "list_mcas")
+
+#undef E8_ARRAY
+
+}  // namespace

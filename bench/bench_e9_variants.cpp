@@ -1,0 +1,170 @@
+// E9 — design-variant ablations (DESIGN.md §8: footnote 4 and §1.1).
+//
+// Two variant comparisons the paper discusses but does not measure:
+//
+//  1. Deleted *bit* vs dummy *node* (footnote 4 / Figure 10): the dummy
+//     variant frees a pointer-word bit at the price of one extra node
+//     allocation per pop and an extra dereference whenever a sentinel word
+//     is inspected. Rows: FIFO cycling and pop-heavy traffic, bit vs dummy.
+//
+//  2. Split end words vs Greenwald-style packed {L,R} word (§1.1): packing
+//     both indices into one word makes every operation DCAS the same word,
+//     which "prevents concurrent access to the two deque ends" — visible as
+//     the packed deque losing its same-end/opposite-end distinction while
+//     ArrayDeque keeps opposite ends independent (modulo the DCAS
+//     emulation's own serialisation).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "dcd/baseline/packed_ends_deque.hpp"
+#include "dcd/deque/array_deque.hpp"
+#include "dcd/deque/list_deque.hpp"
+#include "dcd/deque/list_deque_dummy.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::bench::fill;
+using dcd::bench::print_topology_once;
+using dcd::bench::report_telemetry;
+using dcd::bench::reset_telemetry;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+
+// --- bit vs dummy ----------------------------------------------------------
+
+template <typename D>
+void BM_FifoCycle(benchmark::State& state) {
+  print_topology_once();
+  D d(1 << 14);
+  for (int i = 0; i < 16; ++i) (void)d.push_right(i + 1);
+  reset_telemetry();
+  for (auto _ : state) {
+    (void)d.push_right(7);
+    benchmark::DoNotOptimize(d.pop_left());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  report_telemetry(state);
+}
+
+template <typename D>
+void BM_PopHeavy(benchmark::State& state) {
+  D d(1 << 14);
+  reset_telemetry();
+  for (auto _ : state) {
+    (void)d.push_right(1);
+    (void)d.push_right(2);
+    benchmark::DoNotOptimize(d.pop_right());
+    benchmark::DoNotOptimize(d.pop_right());
+    benchmark::DoNotOptimize(d.pop_right());  // empty
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+  report_telemetry(state);
+}
+
+using ListBitGlobal = ListDeque<std::uint64_t, GlobalLockDcas>;
+using ListDummyGlobal = ListDequeDummy<std::uint64_t, GlobalLockDcas>;
+using ListBitMcas = ListDeque<std::uint64_t, McasDcas>;
+using ListDummyMcas = ListDequeDummy<std::uint64_t, McasDcas>;
+
+BENCHMARK_TEMPLATE(BM_FifoCycle, ListBitGlobal)
+    ->Name("E9_Fifo/bit/global_lock");
+BENCHMARK_TEMPLATE(BM_FifoCycle, ListDummyGlobal)
+    ->Name("E9_Fifo/dummy/global_lock");
+BENCHMARK_TEMPLATE(BM_FifoCycle, ListBitMcas)->Name("E9_Fifo/bit/mcas");
+BENCHMARK_TEMPLATE(BM_FifoCycle, ListDummyMcas)->Name("E9_Fifo/dummy/mcas");
+BENCHMARK_TEMPLATE(BM_PopHeavy, ListBitGlobal)
+    ->Name("E9_PopHeavy/bit/global_lock");
+BENCHMARK_TEMPLATE(BM_PopHeavy, ListDummyGlobal)
+    ->Name("E9_PopHeavy/dummy/global_lock");
+
+// --- split vs packed end words ----------------------------------------------
+
+template <typename D, bool kOpposite>
+void BM_PackedTwoEnds(benchmark::State& state) {
+  static D* d = nullptr;
+  if (state.thread_index() == 0) {
+    d = new D(1 << 12);
+    fill(*d, 512);
+  }
+  const bool right = kOpposite ? (state.thread_index() % 2 == 0) : true;
+  for (auto _ : state) {
+    if (right) {
+      (void)d->push_right(7);
+      benchmark::DoNotOptimize(d->pop_right());
+    } else {
+      (void)d->push_left(7);
+      benchmark::DoNotOptimize(d->pop_left());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  if (state.thread_index() == 0) {
+    delete d;
+    d = nullptr;
+  }
+}
+
+using ArraySplit = ArrayDeque<std::uint64_t, GlobalLockDcas>;
+using ArrayPacked =
+    dcd::baseline::PackedEndsDeque<std::uint64_t, GlobalLockDcas>;
+
+BENCHMARK_TEMPLATE(BM_PackedTwoEnds, ArraySplit, false)
+    ->Name("E9_Ends_SameEnd/split_words")
+    ->Threads(2)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_PackedTwoEnds, ArraySplit, true)
+    ->Name("E9_Ends_Opposite/split_words")
+    ->Threads(2)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_PackedTwoEnds, ArrayPacked, false)
+    ->Name("E9_Ends_SameEnd/packed_word")
+    ->Threads(2)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_PackedTwoEnds, ArrayPacked, true)
+    ->Name("E9_Ends_Opposite/packed_word")
+    ->Threads(2)
+    ->UseRealTime();
+
+// Retry pressure is the cleaner signal on a single-core host: count failed
+// DCASes per op when opposite ends run on split vs packed words.
+template <typename D>
+void BM_OppositeRetries(benchmark::State& state) {
+  static D* d = nullptr;
+  if (state.thread_index() == 0) {
+    reset_telemetry();
+    d = new D(1 << 12);
+    fill(*d, 512);
+  }
+  const bool right = state.thread_index() % 2 == 0;
+  for (auto _ : state) {
+    if (right) {
+      (void)d->push_right(7);
+      benchmark::DoNotOptimize(d->pop_right());
+    } else {
+      (void)d->push_left(7);
+      benchmark::DoNotOptimize(d->pop_left());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  if (state.thread_index() == 0) {
+    const auto c = dcd::dcas::Telemetry::snapshot();
+    state.counters["dcas_failures"] =
+        static_cast<double>(c.dcas_failures);
+    state.counters["dcas_calls"] = static_cast<double>(c.dcas_calls);
+    delete d;
+    d = nullptr;
+  }
+}
+
+BENCHMARK_TEMPLATE(BM_OppositeRetries, ArraySplit)
+    ->Name("E9_OppositeRetries/split_words")
+    ->Threads(2)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_OppositeRetries, ArrayPacked)
+    ->Name("E9_OppositeRetries/packed_word")
+    ->Threads(2)
+    ->UseRealTime();
+
+}  // namespace

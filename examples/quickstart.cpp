@@ -1,0 +1,58 @@
+// Quickstart: the two deques of the paper, in a dozen lines each.
+//
+//   $ ./quickstart
+//
+// ArrayDeque  — §3's bounded circular-array deque.
+// ListDeque   — §4's unbounded linked-list deque (pool-backed, EBR-reclaimed).
+// Both run here over the lock-free MCAS-based DCAS (the default policy);
+// swap dcd::dcas::GlobalLockDcas or StripedLockDcas in to compare.
+#include <cstdio>
+
+#include "dcd/deque/array_deque.hpp"
+#include "dcd/deque/list_deque.hpp"
+
+int main() {
+  using namespace dcd::deque;
+
+  // --- bounded array deque -------------------------------------------------
+  ArrayDeque<std::uint64_t> bounded(/*capacity=*/4);
+  std::printf("ArrayDeque capacity: %zu\n", bounded.capacity());
+
+  // The §2.2 example trace: S = <>, then pushes/pops from both ends.
+  bounded.push_right(1);  // S = <1>
+  bounded.push_left(2);   // S = <2 1>
+  bounded.push_right(3);  // S = <2 1 3>
+  std::printf("popLeft  -> %llu (expect 2)\n",
+              (unsigned long long)*bounded.pop_left());
+  std::printf("popLeft  -> %llu (expect 1)\n",
+              (unsigned long long)*bounded.pop_left());
+  std::printf("popRight -> %llu (expect 3)\n",
+              (unsigned long long)*bounded.pop_right());
+  if (!bounded.pop_right().has_value()) {
+    std::printf("popRight -> empty (deque drained)\n");
+  }
+
+  // Boundary cases return values instead of blocking or UB:
+  for (std::uint64_t i = 0; i < 4; ++i) bounded.push_right(i);
+  if (bounded.push_left(99) == PushResult::kFull) {
+    std::printf("pushLeft -> full at capacity %zu\n", bounded.capacity());
+  }
+
+  // --- unbounded list deque ------------------------------------------------
+  ListDeque<std::uint64_t> unbounded(/*max_nodes=*/1 << 16);
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    unbounded.push_left(i);        // allocate
+    (void)unbounded.pop_right();   // retire -> EBR -> pool
+  }
+  std::printf("ListDeque cycled 100k nodes through a %zu-node pool\n",
+              unbounded.pool().capacity());
+
+  // Pointers work too (the deque stores the pointer; you own the pointee).
+  ListDeque<const char*> names;
+  alignas(8) static const char kHello[] = "hello";  // stored pointers must
+  alignas(8) static const char kWorld[] = "world";  // be 8-aligned
+  names.push_right(kHello);
+  names.push_right(kWorld);
+  std::printf("%s %s\n", *names.pop_left(), *names.pop_left());
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Work-stealing scheduler — the paper's §1 motivating application.
+//
+// Each worker owns a deque of tasks: it pushes and pops work at the right
+// end (LIFO, cache-friendly), and idle workers steal from victims' left
+// ends (FIFO, takes the oldest/biggest task first). The paper cites Arora,
+// Blumofe & Plaxton's restricted CAS-only deque for exactly this pattern;
+// the DCAS deques support it with a *general* deque — both ends, push and
+// pop — so the same structure also serves schedulers that need to re-inject
+// work at either end.
+//
+// Workload: synthetic fork-join tree (each task forks `kFanout` children
+// until depth 0, then "executes" by accumulating its weight). The final sum
+// is schedule-independent, so it doubles as a correctness check.
+//
+//   $ ./work_stealing [workers] [seed_tasks] [depth]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "dcd/baseline/arora_deque.hpp"
+#include "dcd/deque/list_deque.hpp"
+#include "dcd/util/barrier.hpp"
+#include "dcd/util/rng.hpp"
+#include "dcd/util/stopwatch.hpp"
+
+namespace {
+
+constexpr int kFanout = 2;
+
+struct Stats {
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steals = 0;
+};
+
+// Task encoding: (depth << 32) | weight.
+std::uint64_t make_task(std::uint64_t depth, std::uint64_t weight) {
+  return (depth << 32) | weight;
+}
+
+// Generic scheduler over any owner-push/pop + steal interface.
+template <typename PopOwn, typename PushOwn, typename Steal>
+void worker_loop(int id, std::atomic<std::int64_t>& outstanding,
+                 std::atomic<std::uint64_t>& sum, Stats& stats, int workers,
+                 PopOwn pop_own, PushOwn push_own, Steal steal) {
+  dcd::util::Xoshiro256 rng(id + 1);
+  while (outstanding.load(std::memory_order_acquire) > 0) {
+    std::optional<std::uint64_t> task = pop_own();
+    if (!task) {
+      const int victim = static_cast<int>(rng.below(workers));
+      task = steal(victim);
+      if (task) {
+        ++stats.steals;
+      } else {
+        ++stats.failed_steals;
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    const std::uint64_t depth = *task >> 32;
+    const std::uint64_t weight = *task & 0xffffffffull;
+    if (depth == 0) {
+      sum.fetch_add(weight, std::memory_order_relaxed);
+      ++stats.executed;
+      outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      outstanding.fetch_add(kFanout - 1, std::memory_order_acq_rel);
+      for (int c = 0; c < kFanout; ++c) {
+        push_own(make_task(depth - 1, weight));
+      }
+    }
+  }
+}
+
+std::uint64_t expected_sum(std::uint64_t seeds, std::uint64_t depth) {
+  std::uint64_t leaves = 1;
+  for (std::uint64_t d = 0; d < depth; ++d) leaves *= kFanout;
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < seeds; ++i) sum += leaves * (i + 1);
+  return sum;
+}
+
+void run_on_dcas_deques(int workers, std::uint64_t seeds,
+                        std::uint64_t depth) {
+  using Deque = dcd::deque::ListDeque<std::uint64_t>;
+  std::vector<std::unique_ptr<Deque>> deques;
+  for (int w = 0; w < workers; ++w) {
+    deques.push_back(std::make_unique<Deque>(1 << 16));
+  }
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::int64_t> outstanding{0};
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    outstanding.fetch_add(1);
+    deques[i % workers]->push_right(make_task(depth, i + 1));
+  }
+  std::vector<Stats> stats(workers);
+  dcd::util::SpinBarrier barrier(workers);
+  dcd::util::Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      barrier.arrive_and_wait();
+      worker_loop(
+          w, outstanding, sum, stats[w], workers,
+          [&] { return deques[w]->pop_right(); },
+          [&](std::uint64_t t) {
+            while (deques[w]->push_right(t) !=
+                   dcd::deque::PushResult::kOkay) {
+              std::this_thread::yield();
+            }
+          },
+          [&](int victim) { return deques[victim]->pop_left(); });
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = timer.elapsed_s();
+
+  Stats total;
+  for (const auto& s : stats) {
+    total.executed += s.executed;
+    total.steals += s.steals;
+    total.failed_steals += s.failed_steals;
+  }
+  const std::uint64_t expect = expected_sum(seeds, depth);
+  std::printf(
+      "ListDeque<DCAS>: sum=%llu (%s), tasks=%llu, steals=%llu, "
+      "failed_steals=%llu, %.3fs\n",
+      (unsigned long long)sum.load(),
+      sum.load() == expect ? "correct" : "WRONG",
+      (unsigned long long)total.executed, (unsigned long long)total.steals,
+      (unsigned long long)total.failed_steals, secs);
+}
+
+void run_on_abp_deques(int workers, std::uint64_t seeds,
+                       std::uint64_t depth) {
+  using Deque = dcd::baseline::AroraDeque<std::uint64_t>;
+  std::vector<std::unique_ptr<Deque>> deques;
+  for (int w = 0; w < workers; ++w) {
+    deques.push_back(std::make_unique<Deque>(1 << 16));
+  }
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::int64_t> outstanding{0};
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    outstanding.fetch_add(1);
+    deques[i % workers]->push_bottom(make_task(depth, i + 1));
+  }
+  std::vector<Stats> stats(workers);
+  dcd::util::SpinBarrier barrier(workers);
+  dcd::util::Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      barrier.arrive_and_wait();
+      worker_loop(
+          w, outstanding, sum, stats[w], workers,
+          [&] { return deques[w]->pop_bottom(); },
+          [&](std::uint64_t t) {
+            while (deques[w]->push_bottom(t) !=
+                   dcd::deque::PushResult::kOkay) {
+              std::this_thread::yield();
+            }
+          },
+          [&](int victim) { return deques[victim]->steal(); });
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = timer.elapsed_s();
+
+  Stats total;
+  for (const auto& s : stats) {
+    total.executed += s.executed;
+    total.steals += s.steals;
+    total.failed_steals += s.failed_steals;
+  }
+  const std::uint64_t expect = expected_sum(seeds, depth);
+  std::printf(
+      "AroraDeque<CAS>: sum=%llu (%s), tasks=%llu, steals=%llu, "
+      "failed_steals=%llu, %.3fs\n",
+      (unsigned long long)sum.load(),
+      sum.load() == expect ? "correct" : "WRONG",
+      (unsigned long long)total.executed, (unsigned long long)total.steals,
+      (unsigned long long)total.failed_steals, secs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::uint64_t seeds = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                       : 64;
+  const std::uint64_t depth = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                       : 8;
+  std::printf("work stealing: %d workers, %llu seed tasks, depth %llu\n",
+              workers, (unsigned long long)seeds, (unsigned long long)depth);
+  run_on_dcas_deques(workers, seeds, depth);
+  run_on_abp_deques(workers, seeds, depth);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Summarise bench_output.txt into the EXPERIMENTS.md comparison tables.
+
+Usage: scripts/summarize_bench.py [bench_output.txt]
+
+Prints, per experiment family (E1..E10 plus the raw BM_ rows of E1), the
+benchmark name, time per iteration and the user counters — a quick way to
+diff a fresh run against the recorded numbers without re-reading raw
+google-benchmark output.
+"""
+import re
+import sys
+from collections import defaultdict
+
+ROW = re.compile(
+    r"^(?P<name>[A-Za-z0-9_<>/.:+*-]+)\s+(?P<time>[0-9.]+) (?P<unit>ns|us|ms)"
+    r"\s+[0-9.]+ (?:ns|us|ms)\s+(?P<iters>\d+)\s*(?P<counters>.*)$")
+
+
+def family(name: str) -> str:
+    if name.startswith("E"):
+        return name.split("_")[0]
+    return "E1(raw)"
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    groups = defaultdict(list)
+    with open(path) as f:
+        for line in f:
+            m = ROW.match(line.strip())
+            if not m:
+                continue
+            counters = " ".join(
+                c for c in m["counters"].split()
+                if "=" in c and not c.startswith("items_per_second"))
+            groups[family(m["name"])].append(
+                (m["name"], f"{m['time']} {m['unit']}", counters))
+    for fam in sorted(groups):
+        print(f"\n== {fam} ==")
+        width = max(len(n) for n, _, _ in groups[fam])
+        for name, t, counters in groups[fam]:
+            print(f"  {name:<{width}}  {t:>12}  {counters}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+// The CAS-only work-stealing deque of Arora, Blumofe & Plaxton [4].
+//
+// The paper positions this as the "elegant CAS-based deque" with restricted
+// semantics: one end (here: the bottom/right) is used only by a single
+// owner thread for push/pop, the other end (top/left) supports only pops
+// ("steals") — exactly the restrictions that let ABP avoid DCAS. E5/E6
+// compare it against the general DCAS deques on its own legal workload.
+//
+// The age word packs {tag, top} so that popBottom's reset of top and the
+// tag increment happen in one CAS — the classic ABA defence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dcd/deque/types.hpp"
+#include "dcd/deque/value_codec.hpp"
+#include "dcd/util/align.hpp"
+#include "dcd/util/assert.hpp"
+
+namespace dcd::baseline {
+
+template <typename T>
+class AroraDeque {
+ public:
+  using value_type = T;
+  using Codec = deque::ValueCodec<T>;
+
+  explicit AroraDeque(std::size_t capacity)
+      : capacity_(capacity),
+        cells_(std::make_unique<std::atomic<std::uint64_t>[]>(capacity)) {
+    DCD_ASSERT(capacity >= 1 && capacity <= 0xffffffffull);
+  }
+
+  // Owner only.
+  deque::PushResult push_bottom(T v) {
+    const std::uint64_t bot = bot_->load(std::memory_order_relaxed);
+    const std::uint64_t top = top_of(age_->load(std::memory_order_acquire));
+    if (bot - top >= capacity_) return deque::PushResult::kFull;
+    cells_[bot % capacity_].store(Codec::encode(v),
+                                  std::memory_order_relaxed);
+    bot_->store(bot + 1, std::memory_order_release);
+    return deque::PushResult::kOkay;
+  }
+
+  // Owner only. Verbatim ABP PopBottom: when the last element is (or may
+  // be) contended with thieves, the deque is reset to the canonical empty
+  // state {top = 0, bot = 0} with the tag bumped so stale thief CASes
+  // cannot succeed against the new round.
+  std::optional<T> pop_bottom() {
+    std::uint64_t bot = bot_->load(std::memory_order_relaxed);
+    if (bot == 0) return std::nullopt;  // empty (canonical)
+    --bot;
+    bot_->store(bot, std::memory_order_seq_cst);
+    const std::uint64_t word =
+        cells_[bot % capacity_].load(std::memory_order_relaxed);
+    const std::uint64_t old_age = age_->load(std::memory_order_seq_cst);
+    const std::uint64_t top = top_of(old_age);
+    if (bot > top) {
+      return Codec::decode(word);  // no conflict possible
+    }
+    bot_->store(0, std::memory_order_seq_cst);
+    const std::uint64_t new_age = make_age(tag_of(old_age) + 1, 0);
+    if (bot == top) {
+      std::uint64_t expected = old_age;
+      if (age_->compare_exchange_strong(expected, new_age,
+                                        std::memory_order_seq_cst)) {
+        return Codec::decode(word);  // won the race against thieves
+      }
+    }
+    age_->store(new_age, std::memory_order_seq_cst);
+    return std::nullopt;
+  }
+
+  // Any thread ("thief").
+  std::optional<T> steal() {
+    const std::uint64_t old_age = age_->load(std::memory_order_seq_cst);
+    const std::uint64_t bot = bot_->load(std::memory_order_seq_cst);
+    const std::uint64_t top = top_of(old_age);
+    if (bot <= top) return std::nullopt;  // empty
+    const std::uint64_t word =
+        cells_[top % capacity_].load(std::memory_order_relaxed);
+    std::uint64_t expected = old_age;
+    if (age_->compare_exchange_strong(expected,
+                                      make_age(tag_of(old_age), top + 1),
+                                      std::memory_order_seq_cst)) {
+      return Codec::decode(word);
+    }
+    return std::nullopt;  // lost to another thief or the owner
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::size_t size_estimate() const noexcept {
+    const std::uint64_t bot = bot_->load(std::memory_order_acquire);
+    const std::uint64_t top = top_of(age_->load(std::memory_order_acquire));
+    return bot > top ? static_cast<std::size_t>(bot - top) : 0;
+  }
+
+ private:
+  static std::uint64_t top_of(std::uint64_t age) noexcept {
+    return age & 0xffffffffull;
+  }
+  static std::uint64_t tag_of(std::uint64_t age) noexcept { return age >> 32; }
+  static std::uint64_t make_age(std::uint64_t tag, std::uint64_t top) noexcept {
+    return (tag << 32) | (top & 0xffffffffull);
+  }
+
+  const std::size_t capacity_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+  util::CacheAligned<std::atomic<std::uint64_t>> age_;  // {tag, top}
+  util::CacheAligned<std::atomic<std::uint64_t>> bot_;
+};
+
+}  // namespace dcd::baseline

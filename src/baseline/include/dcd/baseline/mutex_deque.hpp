@@ -1,0 +1,61 @@
+// Coarse-grained blocking baseline: one mutex around std::deque.
+//
+// The simplest correct implementation; E5 uses it as the "what you get
+// without any cleverness" floor/ceiling. Bounded so it satisfies the same
+// §2.2 sequential specification as ArrayDeque.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "dcd/deque/types.hpp"
+
+namespace dcd::baseline {
+
+template <typename T>
+class MutexDeque {
+ public:
+  using value_type = T;
+
+  explicit MutexDeque(std::size_t capacity) : capacity_(capacity) {}
+
+  deque::PushResult push_right(T v) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (items_.size() >= capacity_) return deque::PushResult::kFull;
+    items_.push_back(std::move(v));
+    return deque::PushResult::kOkay;
+  }
+
+  deque::PushResult push_left(T v) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (items_.size() >= capacity_) return deque::PushResult::kFull;
+    items_.push_front(std::move(v));
+    return deque::PushResult::kOkay;
+  }
+
+  std::optional<T> pop_right() {
+    std::lock_guard<std::mutex> g(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.back());
+    items_.pop_back();
+    return v;
+  }
+
+  std::optional<T> pop_left() {
+    std::lock_guard<std::mutex> g(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace dcd::baseline

@@ -1,0 +1,164 @@
+// A Greenwald-style array deque with both end indices packed in one word.
+//
+// §1.1 critiques Greenwald's first array-based deque (pp. 196-197 of [16]):
+// it "uses the two-word DCAS as if it were a three-word operation, keeping
+// the two deque end pointers in the same memory word, and DCAS-ing on it
+// and a second word containing a value. Apart from the fact that this
+// limits applicability by cutting the index range to half a memory word, it
+// also prevents concurrent access to the two deque ends."
+//
+// This class is that design, rebuilt on our substrate so the critique is
+// measurable (E2's packed_ends rows): every operation — left or right —
+// DCASes the single {L,R} word, so opposite-end operations conflict
+// unconditionally, and each index is confined to 29 bits of the 61-bit
+// payload. The per-operation logic mirrors ArrayDeque (cells disambiguate
+// empty vs full), but with both indices visible atomically the boundary
+// checks need no separate confirming re-read of the index word.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dcd/dcas/policies.hpp"
+#include "dcd/dcas/word.hpp"
+#include "dcd/deque/types.hpp"
+#include "dcd/deque/value_codec.hpp"
+#include "dcd/util/align.hpp"
+#include "dcd/util/assert.hpp"
+#include "dcd/util/backoff.hpp"
+
+namespace dcd::baseline {
+
+template <typename T, dcas::DcasPolicy Dcas = dcas::DefaultDcas>
+class PackedEndsDeque {
+ public:
+  using value_type = T;
+  using Codec = deque::ValueCodec<T>;
+
+  static constexpr std::size_t kMaxCapacity = (1ull << 29) - 1;
+
+  explicit PackedEndsDeque(std::size_t capacity) : n_(capacity) {
+    DCD_ASSERT(capacity >= 1 && capacity <= kMaxCapacity);
+    s_ = std::make_unique<dcas::Word[]>(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      Dcas::store_init(s_[i], dcas::kNull);
+    }
+    Dcas::store_init(*ends_, pack(0, 1 % n_));
+  }
+
+  PackedEndsDeque(const PackedEndsDeque&) = delete;
+  PackedEndsDeque& operator=(const PackedEndsDeque&) = delete;
+
+  std::size_t capacity() const noexcept { return n_; }
+
+  deque::PushResult push_right(T v) {
+    const std::uint64_t vw = Codec::encode(v);
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t ends = Dcas::load(*ends_);
+      const std::size_t l = left_of(ends), r = right_of(ends);
+      const std::uint64_t cell = Dcas::load(s_[r]);
+      if (!dcas::is_null(cell)) {
+        // Both indices were read atomically, but fullness still needs the
+        // cell content (same ambiguity as §3), confirmed by DCAS.
+        if (Dcas::dcas(*ends_, s_[r], ends, cell, ends, cell)) {
+          return deque::PushResult::kFull;
+        }
+      } else if (Dcas::dcas(*ends_, s_[r], ends, cell,
+                            pack(l, mod_inc(r)), vw)) {
+        return deque::PushResult::kOkay;
+      }
+      backoff.pause();
+    }
+  }
+
+  deque::PushResult push_left(T v) {
+    const std::uint64_t vw = Codec::encode(v);
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t ends = Dcas::load(*ends_);
+      const std::size_t l = left_of(ends), r = right_of(ends);
+      const std::uint64_t cell = Dcas::load(s_[l]);
+      if (!dcas::is_null(cell)) {
+        if (Dcas::dcas(*ends_, s_[l], ends, cell, ends, cell)) {
+          return deque::PushResult::kFull;
+        }
+      } else if (Dcas::dcas(*ends_, s_[l], ends, cell,
+                            pack(mod_dec(l), r), vw)) {
+        return deque::PushResult::kOkay;
+      }
+      backoff.pause();
+    }
+  }
+
+  std::optional<T> pop_right() {
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t ends = Dcas::load(*ends_);
+      const std::size_t l = left_of(ends), r = right_of(ends);
+      const std::size_t target = mod_dec(r);
+      const std::uint64_t cell = Dcas::load(s_[target]);
+      if (dcas::is_null(cell)) {
+        if (Dcas::dcas(*ends_, s_[target], ends, cell, ends, cell)) {
+          return std::nullopt;
+        }
+      } else if (Dcas::dcas(*ends_, s_[target], ends, cell,
+                            pack(l, target), dcas::kNull)) {
+        return Codec::decode(cell);
+      }
+      backoff.pause();
+    }
+  }
+
+  std::optional<T> pop_left() {
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t ends = Dcas::load(*ends_);
+      const std::size_t l = left_of(ends), r = right_of(ends);
+      const std::size_t target = mod_inc(l);
+      const std::uint64_t cell = Dcas::load(s_[target]);
+      if (dcas::is_null(cell)) {
+        if (Dcas::dcas(*ends_, s_[target], ends, cell, ends, cell)) {
+          return std::nullopt;
+        }
+      } else if (Dcas::dcas(*ends_, s_[target], ends, cell,
+                            pack(target, r), dcas::kNull)) {
+        return Codec::decode(cell);
+      }
+      backoff.pause();
+    }
+  }
+
+  std::size_t size_unsynchronized() const {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!dcas::is_null(s_[i].raw.load())) ++count;
+    }
+    return count;
+  }
+
+ private:
+  static std::uint64_t pack(std::size_t l, std::size_t r) noexcept {
+    return dcas::encode_payload((static_cast<std::uint64_t>(l) << 29) |
+                                static_cast<std::uint64_t>(r));
+  }
+  static std::size_t left_of(std::uint64_t ends) noexcept {
+    return static_cast<std::size_t>(dcas::decode_payload(ends) >> 29);
+  }
+  static std::size_t right_of(std::uint64_t ends) noexcept {
+    return static_cast<std::size_t>(dcas::decode_payload(ends) &
+                                    ((1ull << 29) - 1));
+  }
+  std::size_t mod_inc(std::size_t i) const noexcept { return (i + 1) % n_; }
+  std::size_t mod_dec(std::size_t i) const noexcept {
+    return (i + n_ - 1) % n_;
+  }
+
+  std::size_t n_;
+  util::CacheAligned<dcas::Word> ends_;  // {L:29, R:29} in one word
+  std::unique_ptr<dcas::Word[]> s_;
+};
+
+}  // namespace dcd::baseline

@@ -1,0 +1,84 @@
+// Spinlock-protected ring-buffer deque.
+//
+// Same coarse-grained structure as MutexDeque but with a TTAS spinlock and
+// an inline ring buffer — no allocator traffic, no futex syscalls. This is
+// the strongest *simple* blocking baseline for E5's short-critical-section
+// workloads.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "dcd/deque/types.hpp"
+#include "dcd/util/backoff.hpp"
+
+namespace dcd::baseline {
+
+template <typename T>
+class SpinDeque {
+ public:
+  using value_type = T;
+
+  explicit SpinDeque(std::size_t capacity)
+      : capacity_(capacity), buf_(std::make_unique<T[]>(capacity)) {}
+
+  deque::PushResult push_right(T v) {
+    Lock g(*this);
+    if (size_ == capacity_) return deque::PushResult::kFull;
+    buf_[(head_ + size_) % capacity_] = std::move(v);
+    ++size_;
+    return deque::PushResult::kOkay;
+  }
+
+  deque::PushResult push_left(T v) {
+    Lock g(*this);
+    if (size_ == capacity_) return deque::PushResult::kFull;
+    head_ = (head_ + capacity_ - 1) % capacity_;
+    buf_[head_] = std::move(v);
+    ++size_;
+    return deque::PushResult::kOkay;
+  }
+
+  std::optional<T> pop_right() {
+    Lock g(*this);
+    if (size_ == 0) return std::nullopt;
+    --size_;
+    return std::move(buf_[(head_ + size_) % capacity_]);
+  }
+
+  std::optional<T> pop_left() {
+    Lock g(*this);
+    if (size_ == 0) return std::nullopt;
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return v;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  class Lock {
+   public:
+    explicit Lock(SpinDeque& d) : d_(d) {
+      util::Backoff backoff;
+      for (;;) {
+        if (!d_.flag_.exchange(true, std::memory_order_acquire)) return;
+        while (d_.flag_.load(std::memory_order_relaxed)) backoff.pause();
+      }
+    }
+    ~Lock() { d_.flag_.store(false, std::memory_order_release); }
+
+   private:
+    SpinDeque& d_;
+  };
+
+  const std::size_t capacity_;
+  std::unique_ptr<T[]> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace dcd::baseline

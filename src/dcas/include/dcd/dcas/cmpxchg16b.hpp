@@ -1,0 +1,78 @@
+// Hardware double-width CAS on *adjacent* words (x86-64 cmpxchg16b).
+//
+// Real DCAS hardware (the 68040's CAS2 the paper builds on) takes two
+// arbitrary addresses; the closest primitive modern ISAs offer is a
+// double-width CAS on one 16-byte-aligned pair. The deque algorithms DCAS
+// non-adjacent words (an index and an array cell; a sentinel pointer and a
+// node's value), so this policy cannot run them — it exists to give
+// experiment E1 the "what DCAS would cost if you had it in hardware"
+// reference point, and to support the E-series ablation that packs two
+// logically-related words into one aligned pair.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "dcd/dcas/telemetry.hpp"
+#include "dcd/util/assert.hpp"
+
+namespace dcd::dcas {
+
+// A 16-byte-aligned pair of words that the hardware can CAS as a unit.
+struct alignas(16) AdjacentPair {
+  std::atomic<std::uint64_t> lo{0};
+  std::atomic<std::uint64_t> hi{0};
+};
+
+class Cmpxchg16bDcas {
+ public:
+  static constexpr const char* kName = "cmpxchg16b";
+  static constexpr bool kLockFree = true;
+
+  static bool available() noexcept {
+#if defined(__x86_64__)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  static bool dcas(AdjacentPair& pair, std::uint64_t olo, std::uint64_t ohi,
+                   std::uint64_t nlo, std::uint64_t nhi) noexcept {
+    // Counted separately from policy-level DCAS: this primitive also backs
+    // pool internals, which must not distort the algorithms' dcas/op rows.
+    ++Telemetry::tl().hw_dcas_calls;
+#if defined(__x86_64__)
+    bool ok;
+    asm volatile("lock cmpxchg16b %1"
+                 : "=@ccz"(ok), "+m"(pair), "+a"(olo), "+d"(ohi)
+                 : "b"(nlo), "c"(nhi)
+                 : "memory");
+    if (!ok) ++Telemetry::tl().hw_dcas_failures;
+    return ok;
+#else
+    (void)pair; (void)olo; (void)ohi; (void)nlo; (void)nhi;
+    DCD_ASSERT(false && "cmpxchg16b unavailable on this architecture");
+    return false;
+#endif
+  }
+
+  // Atomic read of the pair (cmpxchg16b with equal old/new is the portable
+  // way to load 16 bytes atomically without TSX).
+  static void read(AdjacentPair& pair, std::uint64_t& lo,
+                   std::uint64_t& hi) noexcept {
+#if defined(__x86_64__)
+    lo = 0;
+    hi = 0;
+    asm volatile("lock cmpxchg16b %0"
+                 : "+m"(pair), "+a"(lo), "+d"(hi)
+                 : "b"(lo), "c"(hi)
+                 : "cc", "memory");
+#else
+    lo = pair.lo.load(std::memory_order_acquire);
+    hi = pair.hi.load(std::memory_order_acquire);
+#endif
+  }
+};
+
+}  // namespace dcd::dcas

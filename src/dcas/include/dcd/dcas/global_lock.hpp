@@ -1,0 +1,50 @@
+// DCAS emulation with a single global spinlock.
+//
+// This is the "blocking software emulation" the paper cites (Agesen &
+// Cartwright [2]). DCASes serialise on one lock; single-word loads stay
+// lock-free. The deque algorithms remain correct because every conclusion
+// drawn from plain loads is either re-validated by a DCAS (which serialises
+// with all other DCASes) or follows from invariants over immutable fields
+// (the sentinels' value fields) — the same structure §5's proof relies on.
+// Progress is of course blocking; E5 quantifies what that costs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "dcd/dcas/telemetry.hpp"
+#include "dcd/dcas/word.hpp"
+
+namespace dcd::dcas {
+
+class GlobalLockDcas {
+ public:
+  static constexpr const char* kName = "global_lock";
+  static constexpr bool kLockFree = false;
+
+  static std::uint64_t load(const Word& w) noexcept {
+    ++Telemetry::tl().loads;
+    return w.raw.load(std::memory_order_acquire);
+  }
+
+  // Initialisation-time store (no concurrency yet).
+  static void store_init(Word& w, std::uint64_t v) noexcept {
+    w.raw.store(v, std::memory_order_release);
+  }
+
+  // Single-word CAS that serialises with DCASes (used by LFRC's count
+  // manipulation, which shares words with DCAS).
+  static bool cas(Word& w, std::uint64_t oldv, std::uint64_t newv) noexcept;
+
+  // Figure 1, first form: boolean result.
+  static bool dcas(Word& a, Word& b, std::uint64_t oa, std::uint64_t ob,
+                   std::uint64_t na, std::uint64_t nb) noexcept;
+
+  // Figure 1, second form: on failure, *oa/*ob receive an atomic view of
+  // the two locations.
+  static bool dcas_view(Word& a, Word& b, std::uint64_t& oa,
+                        std::uint64_t& ob, std::uint64_t na,
+                        std::uint64_t nb) noexcept;
+};
+
+}  // namespace dcd::dcas

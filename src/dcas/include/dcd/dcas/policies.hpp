@@ -1,0 +1,40 @@
+// Policy concept + the canonical policy list.
+//
+// A DcasPolicy supplies the two DCAS forms of Figure 1 plus the managed
+// load/initial-store through which all shared-word traffic flows. The deque
+// templates are parameterised on a policy so every algorithm runs unchanged
+// over each emulation — the repo's substitute for "running on DCAS
+// hardware".
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "dcd/dcas/global_lock.hpp"
+#include "dcd/dcas/mcas.hpp"
+#include "dcd/dcas/striped_lock.hpp"
+#include "dcd/dcas/word.hpp"
+
+namespace dcd::dcas {
+
+template <typename P>
+concept DcasPolicy = requires(Word& w, const Word& cw, std::uint64_t v,
+                              std::uint64_t& vr) {
+  { P::kName } -> std::convertible_to<const char*>;
+  { P::kLockFree } -> std::convertible_to<bool>;
+  { P::load(cw) } -> std::same_as<std::uint64_t>;
+  { P::store_init(w, v) };
+  { P::cas(w, v, v) } -> std::same_as<bool>;
+  { P::dcas(w, w, v, v, v, v) } -> std::same_as<bool>;
+  { P::dcas_view(w, w, vr, vr, v, v) } -> std::same_as<bool>;
+};
+
+static_assert(DcasPolicy<GlobalLockDcas>);
+static_assert(DcasPolicy<StripedLockDcas>);
+static_assert(DcasPolicy<McasDcas>);
+
+// Default policy for user-facing typedefs: the lock-free emulation, which
+// preserves the paper's progress guarantee end-to-end.
+using DefaultDcas = McasDcas;
+
+}  // namespace dcd::dcas

@@ -1,0 +1,42 @@
+// DCAS emulation with address-hashed striped spinlocks.
+//
+// A cheap OS/runtime-style emulation: each word hashes to one of 2^k
+// stripes; a DCAS acquires its two stripes in ascending index order
+// (deadlock-free), so DCASes on disjoint stripes proceed in parallel. This
+// is the emulation that preserves the paper's "uninterrupted concurrent
+// access to both ends" property (E2) while staying blocking.
+#pragma once
+
+#include <cstdint>
+
+#include "dcd/dcas/telemetry.hpp"
+#include "dcd/dcas/word.hpp"
+
+namespace dcd::dcas {
+
+class StripedLockDcas {
+ public:
+  static constexpr const char* kName = "striped_lock";
+  static constexpr bool kLockFree = false;
+  static constexpr std::size_t kStripes = 64;
+
+  static std::uint64_t load(const Word& w) noexcept {
+    ++Telemetry::tl().loads;
+    return w.raw.load(std::memory_order_acquire);
+  }
+
+  static void store_init(Word& w, std::uint64_t v) noexcept {
+    w.raw.store(v, std::memory_order_release);
+  }
+
+  static bool cas(Word& w, std::uint64_t oldv, std::uint64_t newv) noexcept;
+
+  static bool dcas(Word& a, Word& b, std::uint64_t oa, std::uint64_t ob,
+                   std::uint64_t na, std::uint64_t nb) noexcept;
+
+  static bool dcas_view(Word& a, Word& b, std::uint64_t& oa,
+                        std::uint64_t& ob, std::uint64_t na,
+                        std::uint64_t nb) noexcept;
+};
+
+}  // namespace dcd::dcas

@@ -1,0 +1,81 @@
+#include "dcd/dcas/global_lock.hpp"
+
+#include "dcd/util/align.hpp"
+#include "dcd/util/backoff.hpp"
+
+namespace dcd::dcas {
+
+namespace {
+
+class SpinLock {
+ public:
+  void lock() noexcept {
+    util::Backoff backoff;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) backoff.pause();
+    }
+  }
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+util::CacheAligned<SpinLock> g_lock;
+
+}  // namespace
+
+bool GlobalLockDcas::cas(Word& w, std::uint64_t oldv,
+                         std::uint64_t newv) noexcept {
+  ++Telemetry::tl().cas_ops;
+  g_lock->lock();
+  const std::uint64_t v = w.raw.load(std::memory_order_relaxed);
+  const bool ok = (v == oldv);
+  if (ok) w.raw.store(newv, std::memory_order_seq_cst);
+  g_lock->unlock();
+  return ok;
+}
+
+bool GlobalLockDcas::dcas(Word& a, Word& b, std::uint64_t oa,
+                          std::uint64_t ob, std::uint64_t na,
+                          std::uint64_t nb) noexcept {
+  auto& c = Telemetry::tl();
+  ++c.dcas_calls;
+  g_lock->lock();
+  const std::uint64_t va = a.raw.load(std::memory_order_relaxed);
+  const std::uint64_t vb = b.raw.load(std::memory_order_relaxed);
+  bool ok = (va == oa && vb == ob);
+  if (ok) {
+    // seq_cst so lock-free readers that observe the second store also
+    // observe the first (DCAS must look atomic to single-word loads).
+    a.raw.store(na, std::memory_order_seq_cst);
+    b.raw.store(nb, std::memory_order_seq_cst);
+  }
+  g_lock->unlock();
+  if (!ok) ++c.dcas_failures;
+  return ok;
+}
+
+bool GlobalLockDcas::dcas_view(Word& a, Word& b, std::uint64_t& oa,
+                               std::uint64_t& ob, std::uint64_t na,
+                               std::uint64_t nb) noexcept {
+  auto& c = Telemetry::tl();
+  ++c.dcas_calls;
+  g_lock->lock();
+  const std::uint64_t va = a.raw.load(std::memory_order_relaxed);
+  const std::uint64_t vb = b.raw.load(std::memory_order_relaxed);
+  bool ok = (va == oa && vb == ob);
+  if (ok) {
+    a.raw.store(na, std::memory_order_seq_cst);
+    b.raw.store(nb, std::memory_order_seq_cst);
+  } else {
+    oa = va;
+    ob = vb;
+  }
+  g_lock->unlock();
+  if (!ok) ++c.dcas_failures;
+  return ok;
+}
+
+}  // namespace dcd::dcas

@@ -1,0 +1,327 @@
+#include "dcd/dcas/mcas.hpp"
+
+#include <utility>
+
+#include "dcd/reclaim/ebr.hpp"
+#include "dcd/reclaim/tagged_pool.hpp"
+#include "dcd/util/assert.hpp"
+
+namespace dcd::dcas {
+
+namespace {
+
+// Mark layout inside a descriptor-carrying word: bit0 set; bit1 selects the
+// descriptor kind. Descriptors are 64-aligned so the payload bits recover
+// the address exactly.
+constexpr std::uint64_t kRdcssMark = 0b01;
+constexpr std::uint64_t kMcasMark = 0b11;
+constexpr std::uint64_t kMarkBits = 0b11;
+
+constexpr bool is_marked(std::uint64_t v) { return (v & kDescriptorBit) != 0; }
+constexpr bool is_rdcss(std::uint64_t v) { return (v & kMarkBits) == kRdcssMark; }
+constexpr bool is_mcas(std::uint64_t v) { return (v & kMarkBits) == kMcasMark; }
+
+constexpr std::uint64_t kUndecided = 0;
+constexpr std::uint64_t kSucceeded = 1;
+constexpr std::uint64_t kFailed = 2;
+
+struct alignas(64) McasDesc {
+  Word* addr[McasDcas::kMaxCasnWidth];
+  std::uint64_t oldv[McasDcas::kMaxCasnWidth];
+  std::uint64_t newv[McasDcas::kMaxCasnWidth];
+  std::size_t width;
+  std::atomic<std::uint64_t> status{kUndecided};
+  bool pooled;  // storage origin, for the dispose path
+};
+
+// RDCSS sub-descriptor: "install newv into *data if *data == oldv and the
+// operation's status is still UNDECIDED".
+struct alignas(64) RdcssDesc {
+  std::atomic<std::uint64_t>* cond;  // &owner->status
+  Word* data;
+  std::uint64_t oldv;
+  std::uint64_t newv;  // mcas-marked owner descriptor
+  bool pooled;
+};
+
+// Descriptor storage. A heap `new` would route the "lock-free" DCAS
+// through malloc's locks, so descriptors come from lock-free type-stable
+// pools (heap fallback only under exhaustion, which the sizing makes
+// effectively unreachable). The pools are immortal (leaked singletons):
+// the global EBR domain's force-drain at process exit returns the last
+// descriptors to them, so they must outlive every static destructor.
+reclaim::TaggedNodePool& mcas_desc_pool() {
+  static auto* pool = new reclaim::TaggedNodePool(sizeof(McasDesc), 1 << 14);
+  return *pool;
+}
+reclaim::TaggedNodePool& rdcss_desc_pool() {
+  static auto* pool =
+      new reclaim::TaggedNodePool(sizeof(RdcssDesc), 1 << 14);
+  return *pool;
+}
+
+McasDesc* alloc_mcas_desc() {
+  ++Telemetry::tl().descriptors;
+  if (void* raw = mcas_desc_pool().allocate()) {
+    auto* d = new (raw) McasDesc;
+    d->pooled = true;
+    return d;
+  }
+  auto* d = new McasDesc;
+  d->pooled = false;
+  return d;
+}
+
+RdcssDesc* alloc_rdcss_desc(std::atomic<std::uint64_t>* cond, Word* data,
+                            std::uint64_t oldv, std::uint64_t newv) {
+  ++Telemetry::tl().descriptors;
+  if (void* raw = rdcss_desc_pool().allocate()) {
+    auto* d = new (raw) RdcssDesc{cond, data, oldv, newv, true};
+    return d;
+  }
+  return new RdcssDesc{cond, data, oldv, newv, false};
+}
+
+void dispose_mcas_desc(void* p, void*) {
+  auto* d = static_cast<McasDesc*>(p);
+  if (d->pooled) {
+    d->~McasDesc();
+    mcas_desc_pool().deallocate(d);
+  } else {
+    delete d;
+  }
+}
+
+void dispose_rdcss_desc(void* p, void*) {
+  auto* d = static_cast<RdcssDesc*>(p);
+  if (d->pooled) {
+    d->~RdcssDesc();
+    rdcss_desc_pool().deallocate(d);
+  } else {
+    delete d;
+  }
+}
+
+std::uint64_t mark(RdcssDesc* d) {
+  return reinterpret_cast<std::uint64_t>(d) | kRdcssMark;
+}
+std::uint64_t mark(McasDesc* d) {
+  return reinterpret_cast<std::uint64_t>(d) | kMcasMark;
+}
+RdcssDesc* rdcss_of(std::uint64_t v) {
+  return reinterpret_cast<RdcssDesc*>(v & ~kMarkBits);
+}
+McasDesc* mcas_of(std::uint64_t v) {
+  return reinterpret_cast<McasDesc*>(v & ~kMarkBits);
+}
+
+// Finishes an installed RDCSS: replace the sub-descriptor mark with either
+// the MCAS mark (condition still UNDECIDED) or the original value.
+void rdcss_complete(RdcssDesc* d) {
+  const std::uint64_t cond = d->cond->load(std::memory_order_acquire);
+  std::uint64_t expected = mark(d);
+  const std::uint64_t replacement = (cond == kUndecided) ? d->newv : d->oldv;
+  d->data->raw.compare_exchange_strong(expected, replacement,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed);
+  ++Telemetry::tl().cas_ops;
+}
+
+// The RDCSS operation itself. Returns the value logically read from *data:
+// d->oldv on success, otherwise the conflicting content (a clean value or
+// an mcas-marked word; rdcss marks are resolved internally).
+std::uint64_t rdcss(RdcssDesc* d) {
+  for (;;) {
+    std::uint64_t expected = d->oldv;
+    ++Telemetry::tl().cas_ops;
+    if (d->data->raw.compare_exchange_strong(expected, mark(d),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+      rdcss_complete(d);
+      return d->oldv;
+    }
+    if (is_rdcss(expected)) {
+      rdcss_complete(rdcss_of(expected));
+      continue;
+    }
+    return expected;
+  }
+}
+
+// Runs an MCAS to completion (owner and helpers execute the same code).
+// Caller must be pinned in the global EBR domain.
+bool mcas_help(McasDesc* d) {
+  if (d->status.load(std::memory_order_acquire) == kUndecided) {
+    // Phase 1: install the descriptor in both words (ascending address
+    // order — established at creation — so concurrent MCASes cannot
+    // livelock each other).
+    std::uint64_t desired = kSucceeded;
+    for (std::size_t i = 0; i < d->width && desired == kSucceeded; ++i) {
+      for (;;) {
+        auto* rd =
+            alloc_rdcss_desc(&d->status, d->addr[i], d->oldv[i], mark(d));
+        const std::uint64_t r = rdcss(rd);
+        reclaim::global_ebr_domain().retire(rd, dispose_rdcss_desc, nullptr);
+        if (is_mcas(r)) {
+          if (r == mark(d)) break;  // a helper already installed for us
+          ++Telemetry::tl().helps;
+          mcas_help(mcas_of(r));  // clear the conflicting operation first
+          continue;
+        }
+        if (r == d->oldv[i]) break;  // installed by the rdcss above
+        desired = kFailed;           // genuine value mismatch
+        break;
+      }
+    }
+    std::uint64_t expected = kUndecided;
+    d->status.compare_exchange_strong(expected, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+    ++Telemetry::tl().cas_ops;
+  }
+
+  // Phase 2: swap the marks for the outcome's values. Idempotent; any
+  // subset of owner/helpers may execute it.
+  const bool ok = d->status.load(std::memory_order_acquire) == kSucceeded;
+  for (std::size_t i = 0; i < d->width; ++i) {
+    std::uint64_t expected = mark(d);
+    d->addr[i]->raw.compare_exchange_strong(
+        expected, ok ? d->newv[i] : d->oldv[i], std::memory_order_acq_rel,
+        std::memory_order_relaxed);
+    ++Telemetry::tl().cas_ops;
+  }
+  return ok;
+}
+
+}  // namespace
+
+std::uint64_t McasDcas::load(const Word& w) noexcept {
+  ++Telemetry::tl().loads;
+  std::uint64_t v = w.raw.load(std::memory_order_acquire);
+  if (!is_marked(v)) return v;
+
+  // Slow path: pin first, then re-read, so the descriptor we dereference
+  // cannot be reclaimed under us.
+  reclaim::EbrDomain::Guard guard(reclaim::global_ebr_domain());
+  auto& word = const_cast<Word&>(w);
+  for (;;) {
+    v = word.raw.load(std::memory_order_acquire);
+    if (!is_marked(v)) return v;
+    ++Telemetry::tl().helps;
+    if (is_rdcss(v)) {
+      rdcss_complete(rdcss_of(v));
+    } else {
+      mcas_help(mcas_of(v));
+    }
+  }
+}
+
+bool McasDcas::cas(Word& w, std::uint64_t oldv,
+                   std::uint64_t newv) noexcept {
+  DCD_DEBUG_ASSERT(!is_marked(oldv) && !is_marked(newv));
+  auto& c = Telemetry::tl();
+  for (;;) {
+    const std::uint64_t v = load(w);  // helps any descriptor away
+    if (v != oldv) return false;
+    std::uint64_t expected = oldv;
+    ++c.cas_ops;
+    if (w.raw.compare_exchange_strong(expected, newv,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      return true;
+    }
+    if (!is_marked(expected)) return false;  // clean conflicting value
+    // A descriptor slipped in; help it out and retry the comparison.
+  }
+}
+
+bool McasDcas::dcas(Word& a, Word& b, std::uint64_t oa, std::uint64_t ob,
+                    std::uint64_t na, std::uint64_t nb) noexcept {
+  DCD_ASSERT(&a != &b);
+  DCD_DEBUG_ASSERT(!is_marked(oa) && !is_marked(ob) && !is_marked(na) &&
+                   !is_marked(nb));
+  auto& c = Telemetry::tl();
+  ++c.dcas_calls;
+
+  reclaim::EbrDomain::Guard guard(reclaim::global_ebr_domain());
+  auto* d = alloc_mcas_desc();
+  d->width = 2;
+  // Ascending address order (see mcas_help).
+  if (&a < &b) {
+    d->addr[0] = &a; d->addr[1] = &b;
+    d->oldv[0] = oa; d->oldv[1] = ob;
+    d->newv[0] = na; d->newv[1] = nb;
+  } else {
+    d->addr[0] = &b; d->addr[1] = &a;
+    d->oldv[0] = ob; d->oldv[1] = oa;
+    d->newv[0] = nb; d->newv[1] = na;
+  }
+  const bool ok = mcas_help(d);
+  reclaim::global_ebr_domain().retire(d, dispose_mcas_desc, nullptr);
+  if (!ok) ++c.dcas_failures;
+  return ok;
+}
+
+bool McasDcas::casn(Word* const* addrs, const std::uint64_t* olds,
+                    const std::uint64_t* news, std::size_t n) noexcept {
+  DCD_ASSERT(n >= 1 && n <= kMaxCasnWidth);
+  auto& c = Telemetry::tl();
+  ++c.dcas_calls;
+
+  reclaim::EbrDomain::Guard guard(reclaim::global_ebr_domain());
+  auto* d = alloc_mcas_desc();
+  d->width = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    d->addr[i] = addrs[i];
+    d->oldv[i] = olds[i];
+    d->newv[i] = news[i];
+    DCD_DEBUG_ASSERT(!is_marked(olds[i]) && !is_marked(news[i]));
+  }
+  // Ascending address order (livelock freedom); distinct addresses
+  // required, as with dcas.
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = i; j > 0 && d->addr[j] < d->addr[j - 1]; --j) {
+      std::swap(d->addr[j], d->addr[j - 1]);
+      std::swap(d->oldv[j], d->oldv[j - 1]);
+      std::swap(d->newv[j], d->newv[j - 1]);
+    }
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    DCD_ASSERT(d->addr[i] != d->addr[i - 1]);
+  }
+  const bool ok = mcas_help(d);
+  reclaim::global_ebr_domain().retire(d, dispose_mcas_desc, nullptr);
+  if (!ok) ++c.dcas_failures;
+  return ok;
+}
+
+void McasDcas::snapshot(Word& a, Word& b, std::uint64_t& va,
+                        std::uint64_t& vb) noexcept {
+  for (;;) {
+    va = load(a);
+    vb = load(b);
+    // An identity DCAS that succeeds proves (va, vb) was an atomic pair.
+    if (dcas(a, b, va, vb, va, vb)) return;
+  }
+}
+
+bool McasDcas::dcas_view(Word& a, Word& b, std::uint64_t& oa,
+                         std::uint64_t& ob, std::uint64_t na,
+                         std::uint64_t nb) noexcept {
+  for (;;) {
+    if (dcas(a, b, oa, ob, na, nb)) return true;
+    std::uint64_t va, vb;
+    snapshot(a, b, va, vb);
+    if (va == oa && vb == ob) {
+      // The failure was transient (a competing operation was mid-flight at
+      // decision time but the words have returned to the expected pair);
+      // by DCAS semantics this counts as "should have succeeded", so retry.
+      continue;
+    }
+    oa = va;
+    ob = vb;
+    return false;
+  }
+}
+
+}  // namespace dcd::dcas

@@ -1,0 +1,108 @@
+#include "dcd/dcas/striped_lock.hpp"
+
+#include <utility>
+
+#include "dcd/util/align.hpp"
+#include "dcd/util/backoff.hpp"
+
+namespace dcd::dcas {
+
+namespace {
+
+class SpinLock {
+ public:
+  void lock() noexcept {
+    util::Backoff backoff;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) backoff.pause();
+    }
+  }
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+util::CacheAligned<SpinLock> g_stripes[StripedLockDcas::kStripes];
+
+std::size_t stripe_of(const Word& w) noexcept {
+  // Mix the address; words in one cache line share a stripe, which is fine.
+  auto x = reinterpret_cast<std::uint64_t>(&w) >> 3;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x) % StripedLockDcas::kStripes;
+}
+
+// Acquires the stripes of both words in index order; returns them so the
+// caller can release in reverse.
+std::pair<std::size_t, std::size_t> acquire_ordered(const Word& a,
+                                                    const Word& b) noexcept {
+  std::size_t sa = stripe_of(a);
+  std::size_t sb = stripe_of(b);
+  if (sa > sb) std::swap(sa, sb);
+  g_stripes[sa]->lock();
+  if (sb != sa) g_stripes[sb]->lock();
+  return {sa, sb};
+}
+
+void release(std::pair<std::size_t, std::size_t> held) noexcept {
+  if (held.second != held.first) g_stripes[held.second]->unlock();
+  g_stripes[held.first]->unlock();
+}
+
+}  // namespace
+
+bool StripedLockDcas::cas(Word& w, std::uint64_t oldv,
+                          std::uint64_t newv) noexcept {
+  ++Telemetry::tl().cas_ops;
+  auto& stripe = *g_stripes[stripe_of(w)];
+  stripe.lock();
+  const std::uint64_t v = w.raw.load(std::memory_order_relaxed);
+  const bool ok = (v == oldv);
+  if (ok) w.raw.store(newv, std::memory_order_seq_cst);
+  stripe.unlock();
+  return ok;
+}
+
+bool StripedLockDcas::dcas(Word& a, Word& b, std::uint64_t oa,
+                           std::uint64_t ob, std::uint64_t na,
+                           std::uint64_t nb) noexcept {
+  auto& c = Telemetry::tl();
+  ++c.dcas_calls;
+  const auto held = acquire_ordered(a, b);
+  const std::uint64_t va = a.raw.load(std::memory_order_relaxed);
+  const std::uint64_t vb = b.raw.load(std::memory_order_relaxed);
+  const bool ok = (va == oa && vb == ob);
+  if (ok) {
+    a.raw.store(na, std::memory_order_seq_cst);
+    b.raw.store(nb, std::memory_order_seq_cst);
+  }
+  release(held);
+  if (!ok) ++c.dcas_failures;
+  return ok;
+}
+
+bool StripedLockDcas::dcas_view(Word& a, Word& b, std::uint64_t& oa,
+                                std::uint64_t& ob, std::uint64_t na,
+                                std::uint64_t nb) noexcept {
+  auto& c = Telemetry::tl();
+  ++c.dcas_calls;
+  const auto held = acquire_ordered(a, b);
+  const std::uint64_t va = a.raw.load(std::memory_order_relaxed);
+  const std::uint64_t vb = b.raw.load(std::memory_order_relaxed);
+  const bool ok = (va == oa && vb == ob);
+  if (ok) {
+    a.raw.store(na, std::memory_order_seq_cst);
+    b.raw.store(nb, std::memory_order_seq_cst);
+  } else {
+    oa = va;
+    ob = vb;
+  }
+  release(held);
+  if (!ok) ++c.dcas_failures;
+  return ok;
+}
+
+}  // namespace dcd::dcas

@@ -1,0 +1,364 @@
+// The linked-list-based unbounded deque of §4
+// (Figures 11, 13, 17 and their left-side mirrors 32, 33, 34).
+//
+// State: a doubly-linked list of nodes between two fixed sentinels SL and
+// SR. A sentinel's inward pointer word carries a `deleted` bit in its low
+// bits (single-word DCAS-able together with the pointer). Pops are split:
+//
+//   1. logical delete — one DCAS over {sentinel pointer word, node value}:
+//      set the deleted bit and write null into the value;
+//   2. physical delete — deleteRight/deleteLeft splice the null node out
+//      and clear the bit. Any operation on that side that finds the bit set
+//      performs the physical delete first, so a suspended popper never
+//      blocks others (the paper's non-blocking argument, §5.2).
+//
+// The subtle case is an empty deque holding two logically-deleted nodes
+// being physically deleted from both ends at once (Figure 16): both
+// deletes' DCASes overlap on a sentinel word and exactly one wins.
+//
+// Substitutions vs the paper: GC is replaced by a pluggable reclamation
+// policy (EBR by default — it also supplies the ABA-freedom on node
+// addresses that GC gave for free), and New() by a fixed node pool whose
+// exhaustion surfaces as push → "full" (footnote 3).
+//
+// Paper errata corrected here (see DESIGN.md §2): Figure 32 line 4 reads
+// through oldL instead of oldR; Figure 33 line 10 points the new node's L
+// at SR instead of SL.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dcd/dcas/policies.hpp"
+#include "dcd/dcas/word.hpp"
+#include "dcd/deque/types.hpp"
+#include "dcd/deque/value_codec.hpp"
+#include "dcd/reclaim/node_pool.hpp"
+#include "dcd/reclaim/policies.hpp"
+#include "dcd/util/align.hpp"
+#include "dcd/util/assert.hpp"
+#include "dcd/util/backoff.hpp"
+
+namespace dcd::deque {
+
+template <typename T, dcas::DcasPolicy Dcas = dcas::DefaultDcas,
+          typename Reclaim = reclaim::EbrReclaim>
+class ListDeque {
+ public:
+  using value_type = T;
+  using Codec = ValueCodec<T>;
+
+  // `max_nodes` bounds live + not-yet-reclaimed nodes (the paper's deque is
+  // unbounded given an unbounded allocator; a fixed pool makes allocation
+  // failure — and thus the "full" return of footnote 3 — testable).
+  explicit ListDeque(std::size_t max_nodes = 1 << 16)
+      : pool_(sizeof(Node), max_nodes) {
+    Dcas::store_init(sl_.value, dcas::kSentL);
+    Dcas::store_init(sr_.value, dcas::kSentR);
+    Dcas::store_init(sl_.right, ptr(&sr_, false));
+    Dcas::store_init(sr_.left, ptr(&sl_, false));
+    // The outward pointers are never used (§4); keep them null-ish.
+    Dcas::store_init(sl_.left, 0);
+    Dcas::store_init(sr_.right, 0);
+  }
+
+  ~ListDeque() {
+    // Single-threaded teardown: return every non-sentinel node still in the
+    // chain to the pool, then let the reclaimer's destructor force-drain
+    // what is in limbo (member destruction order handles the rest).
+    Node* n = dcas::pointer_of<Node>(sl_.right.raw.load());
+    while (n != &sr_) {
+      Node* next = dcas::pointer_of<Node>(n->right.raw.load());
+      pool_.deallocate(n);
+      n = next;
+    }
+  }
+
+  ListDeque(const ListDeque&) = delete;
+  ListDeque& operator=(const ListDeque&) = delete;
+
+  // Figure 13.
+  PushResult push_right(T v) {
+    typename Reclaim::Guard guard(reclaimer_);
+    Node* node = static_cast<Node*>(pool_.allocate());  // line 2
+    if (node == nullptr) return PushResult::kFull;      // line 3
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t old_l = Dcas::load(sr_.left);  // line 6
+      if (dcas::deleted_of(old_l)) {                     // line 7
+        delete_right();                                  // line 8
+        continue;
+      }
+      // Lines 10–13: initialise the private node. No other thread can see
+      // it until the DCAS below publishes it (paper footnote 7).
+      Dcas::store_init(node->right, ptr(&sr_, false));
+      Dcas::store_init(node->left, old_l);
+      Dcas::store_init(node->value, Codec::encode(v));
+      Node* left_neighbor = dcas::pointer_of<Node>(old_l);
+      const std::uint64_t old_lr = ptr(&sr_, false);     // lines 14-15
+      if (Dcas::dcas(sr_.left, left_neighbor->right, old_l, old_lr,
+                     ptr(node, false), ptr(node, false))) {  // lines 16-17
+        return PushResult::kOkay;                        // line 18
+      }
+      backoff.pause();
+    }
+  }
+
+  // Figure 33 (mirror; erratum: the new node's L points at SL).
+  PushResult push_left(T v) {
+    typename Reclaim::Guard guard(reclaimer_);
+    Node* node = static_cast<Node*>(pool_.allocate());
+    if (node == nullptr) return PushResult::kFull;
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t old_r = Dcas::load(sl_.right);
+      if (dcas::deleted_of(old_r)) {
+        delete_left();
+        continue;
+      }
+      Dcas::store_init(node->left, ptr(&sl_, false));
+      Dcas::store_init(node->right, old_r);
+      Dcas::store_init(node->value, Codec::encode(v));
+      Node* right_neighbor = dcas::pointer_of<Node>(old_r);
+      const std::uint64_t old_rl = ptr(&sl_, false);
+      if (Dcas::dcas(sl_.right, right_neighbor->left, old_r, old_rl,
+                     ptr(node, false), ptr(node, false))) {
+        return PushResult::kOkay;
+      }
+      backoff.pause();
+    }
+  }
+
+  // Figure 11.
+  std::optional<T> pop_right() {
+    typename Reclaim::Guard guard(reclaimer_);
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t old_l = Dcas::load(sr_.left);   // line 3
+      Node* node = dcas::pointer_of<Node>(old_l);
+      const std::uint64_t v = Dcas::load(node->value);    // line 4
+      if (v == dcas::kSentL) return std::nullopt;         // line 5
+      if (dcas::deleted_of(old_l)) {                      // line 6
+        delete_right();                                   // line 7
+      } else if (dcas::is_null(v)) {                      // line 8
+        // The node was logically deleted by a popLeft; if the snapshot
+        // {pointer word, value} is still intact the deque is empty.
+        if (Dcas::dcas(sr_.left, node->value, old_l, v, old_l, v)) {
+          return std::nullopt;                            // lines 9-11
+        }
+      } else {
+        const std::uint64_t new_l = ptr(node, true);      // lines 14-15
+        if (Dcas::dcas(sr_.left, node->value, old_l, v, new_l,
+                       dcas::kNull)) {                    // lines 16-17
+          return Codec::decode(v);                        // line 18
+        }
+      }
+      backoff.pause();
+    }
+  }
+
+  // Figure 32 (mirror; erratum: line 4 dereferences oldR).
+  std::optional<T> pop_left() {
+    typename Reclaim::Guard guard(reclaimer_);
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t old_r = Dcas::load(sl_.right);
+      Node* node = dcas::pointer_of<Node>(old_r);
+      const std::uint64_t v = Dcas::load(node->value);
+      if (v == dcas::kSentR) return std::nullopt;
+      if (dcas::deleted_of(old_r)) {
+        delete_left();
+      } else if (dcas::is_null(v)) {
+        if (Dcas::dcas(sl_.right, node->value, old_r, v, old_r, v)) {
+          return std::nullopt;
+        }
+      } else {
+        const std::uint64_t new_r = ptr(node, true);
+        if (Dcas::dcas(sl_.right, node->value, old_r, v, new_r,
+                       dcas::kNull)) {
+          return Codec::decode(v);
+        }
+      }
+      backoff.pause();
+    }
+  }
+
+  // --- quiescent inspection (tests only; not linearizable) ----------------
+
+  // Values currently reachable left→right, skipping logically-deleted
+  // nodes. Exact only while no operation is in flight.
+  std::size_t size_unsynchronized() const {
+    std::size_t count = 0;
+    const Node* n = dcas::pointer_of<Node>(sl_.right.raw.load());
+    while (n != &sr_) {
+      if (!dcas::is_null(n->value.raw.load())) ++count;
+      n = dcas::pointer_of<Node>(n->right.raw.load());
+    }
+    return count;
+  }
+
+  // Figures 24/25's RepInv, evaluated on a quiescent deque: sentinel values
+  // fixed, the chain doubly linked and acyclic, deleted bits only on the
+  // sentinels' inward words, and null values exactly where a set bit
+  // licenses them.
+  bool check_rep_inv_unsynchronized() const {
+    if (sl_.value.raw.load() != dcas::kSentL) return false;
+    if (sr_.value.raw.load() != dcas::kSentR) return false;
+    std::vector<const Node*> chain;
+    const Node* n = dcas::pointer_of<const Node>(sl_.right.raw.load());
+    std::size_t bound = pool_.capacity() + 2;
+    while (n != &sr_) {
+      if (n == nullptr || n == &sl_ || chain.size() > bound) return false;
+      chain.push_back(n);
+      n = dcas::pointer_of<const Node>(n->right.raw.load());
+    }
+    const Node* prev = &sl_;
+    for (const Node* c : chain) {
+      const std::uint64_t lw = c->left.raw.load();
+      if (dcas::pointer_of<const Node>(lw) != prev || dcas::deleted_of(lw)) {
+        return false;
+      }
+      if (dcas::deleted_of(c->right.raw.load())) return false;
+      prev = c;
+    }
+    if (dcas::pointer_of<const Node>(sr_.left.raw.load()) != prev) {
+      return false;
+    }
+    const bool rdel = right_deleted_bit_unsynchronized();
+    const bool ldel = left_deleted_bit_unsynchronized();
+    if (rdel && (chain.empty() ||
+                 !dcas::is_null(chain.back()->value.raw.load()))) {
+      return false;
+    }
+    if (ldel && (chain.empty() ||
+                 !dcas::is_null(chain.front()->value.raw.load()))) {
+      return false;
+    }
+    if (rdel && ldel && chain.size() < 2) return false;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      const bool licensed =
+          (i == 0 && ldel) || (i + 1 == chain.size() && rdel);
+      if (dcas::is_null(chain[i]->value.raw.load()) && !licensed) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool right_deleted_bit_unsynchronized() const {
+    return dcas::deleted_of(sr_.left.raw.load());
+  }
+  bool left_deleted_bit_unsynchronized() const {
+    return dcas::deleted_of(sl_.right.raw.load());
+  }
+  std::size_t chain_length_unsynchronized() const {
+    std::size_t count = 0;
+    const Node* n = dcas::pointer_of<Node>(sl_.right.raw.load());
+    while (n != &sr_) {
+      ++count;
+      n = dcas::pointer_of<Node>(n->right.raw.load());
+    }
+    return count;
+  }
+
+  const reclaim::NodePool& pool() const noexcept { return pool_; }
+  Reclaim& reclaimer() noexcept { return reclaimer_; }
+
+ private:
+  // typedef node { pointer *L; pointer *R; val value; } — §4. The pool
+  // rounds allocations to a cache line, so node addresses have their low
+  // bits free for the deleted bit / descriptor mark.
+  struct Node {
+    dcas::Word left;
+    dcas::Word right;
+    dcas::Word value;
+  };
+
+  static std::uint64_t ptr(const Node* n, bool deleted) noexcept {
+    return dcas::encode_pointer(n, deleted);
+  }
+
+  // Figure 17.
+  void delete_right() {
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t old_l = Dcas::load(sr_.left);    // line 3
+      if (!dcas::deleted_of(old_l)) return;                // line 4
+      Node* node = dcas::pointer_of<Node>(old_l);          // the null node
+      // line 5: oldLL = oldL.ptr->L.ptr
+      Node* ll = dcas::pointer_of<Node>(Dcas::load(node->left));
+      const std::uint64_t ll_value = Dcas::load(ll->value);  // line 6
+      if (!dcas::is_null(ll_value)) {
+        const std::uint64_t old_llr = Dcas::load(ll->right);  // line 7
+        if (dcas::pointer_of<Node>(old_llr) == node) {        // line 8
+          // Lines 9-12: splice `node` out; SR->L := {ll, 0},
+          // ll->R := {SR, 0}.
+          if (Dcas::dcas(sr_.left, ll->right, old_l, old_llr,
+                         ptr(ll, false), ptr(&sr_, false))) {
+            reclaimer_.retire(node, pool_);
+            return;                                          // line 13
+          }
+        }
+      } else {  // lines 16-26: two null items (Figure 16)
+        const std::uint64_t old_r = Dcas::load(sl_.right);   // line 17
+        if (dcas::deleted_of(old_r)) {                       // line 18
+          Node* left_null = dcas::pointer_of<Node>(old_r);
+          // Lines 19-24: point the sentinels at each other, removing both
+          // null nodes at once.
+          if (Dcas::dcas(sr_.left, sl_.right, old_l, old_r, ptr(&sl_, false),
+                         ptr(&sr_, false))) {
+            reclaimer_.retire(node, pool_);
+            reclaimer_.retire(left_null, pool_);
+            return;                                          // line 25
+          }
+        }
+      }
+      backoff.pause();
+    }
+  }
+
+  // Figure 34 (mirror).
+  void delete_left() {
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t old_r = Dcas::load(sl_.right);
+      if (!dcas::deleted_of(old_r)) return;
+      Node* node = dcas::pointer_of<Node>(old_r);
+      Node* rr = dcas::pointer_of<Node>(Dcas::load(node->right));
+      const std::uint64_t rr_value = Dcas::load(rr->value);
+      if (!dcas::is_null(rr_value)) {
+        const std::uint64_t old_rrl = Dcas::load(rr->left);
+        if (dcas::pointer_of<Node>(old_rrl) == node) {
+          if (Dcas::dcas(sl_.right, rr->left, old_r, old_rrl,
+                         ptr(rr, false), ptr(&sl_, false))) {
+            reclaimer_.retire(node, pool_);
+            return;
+          }
+        }
+      } else {  // two null items
+        const std::uint64_t old_l = Dcas::load(sr_.left);
+        if (dcas::deleted_of(old_l)) {
+          Node* right_null = dcas::pointer_of<Node>(old_l);
+          if (Dcas::dcas(sl_.right, sr_.left, old_r, old_l, ptr(&sr_, false),
+                         ptr(&sl_, false))) {
+            reclaimer_.retire(node, pool_);
+            reclaimer_.retire(right_null, pool_);
+            return;
+          }
+        }
+      }
+      backoff.pause();
+    }
+  }
+
+  // Declaration order matters: the reclaimer is destroyed before the pool,
+  // force-draining limbo nodes back into the slab before it is released.
+  reclaim::NodePool pool_;
+  Reclaim reclaimer_;
+  alignas(util::kCacheLineSize) Node sl_;
+  alignas(util::kCacheLineSize) Node sr_;
+};
+
+}  // namespace dcd::deque

@@ -1,0 +1,41 @@
+// Result and option types shared by the deque implementations.
+#pragma once
+
+#include <concepts>
+#include <optional>
+
+namespace dcd::deque {
+
+// §2.2: each push returns "okay" or "full"; each pop returns a value or
+// "empty" (modelled as an empty optional).
+enum class PushResult {
+  kOkay,
+  kFull,
+};
+
+// The two code fragments §3 explicitly calls optional ("we note that the
+// algorithm would still be correct if line 7, and/or lines 17 and 18, were
+// deleted ... Experimentation would be required"). Experiment E4 sweeps
+// these.
+struct ArrayOptions {
+  // Line 7: re-read the index before attempting the boundary-confirming
+  // DCAS, to skip a presumably-costly DCAS that would likely fail.
+  bool recheck_index = true;
+  // Lines 17–18: use the stronger DCAS form (atomic view on failure) to
+  // detect "the deque was empty/full when my DCAS failed" without another
+  // loop iteration. When false, only the weaker boolean DCAS is used —
+  // exactly the trade-off the paper describes.
+  bool failure_view = true;
+
+  constexpr bool operator==(const ArrayOptions&) const = default;
+};
+
+template <typename D, typename T>
+concept ConcurrentDeque = requires(D d, T v) {
+  { d.push_right(v) } -> std::same_as<PushResult>;
+  { d.push_left(v) } -> std::same_as<PushResult>;
+  { d.pop_right() } -> std::same_as<std::optional<T>>;
+  { d.pop_left() } -> std::same_as<std::optional<T>>;
+};
+
+}  // namespace dcd::deque

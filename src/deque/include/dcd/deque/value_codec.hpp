@@ -1,0 +1,68 @@
+// Mapping between user value types and the 61-bit word payloads the
+// algorithms store.
+//
+// The paper's `val` set excludes the distinguished null/sentL/sentR values;
+// the codec enforces the equivalent restriction mechanically: encoded
+// payloads live in the word's payload bits, which can never collide with
+// the specials (those have the special flag set) or with descriptor marks.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "dcd/dcas/word.hpp"
+#include "dcd/util/assert.hpp"
+
+namespace dcd::deque {
+
+template <typename T>
+struct ValueCodec;  // specialise for storable types
+
+// Unsigned integers up to 61 bits.
+template <typename T>
+  requires(std::is_unsigned_v<T> && sizeof(T) <= 8)
+struct ValueCodec<T> {
+  static std::uint64_t encode(T v) {
+    const auto payload = static_cast<std::uint64_t>(v);
+    DCD_ASSERT(payload <= dcas::kMaxPayload);
+    return dcas::encode_payload(payload);
+  }
+  static T decode(std::uint64_t word) {
+    return static_cast<T>(dcas::decode_payload(word));
+  }
+};
+
+// Signed integers: zig-zag through the unsigned payload so negatives are
+// storable; magnitude limited to 60 bits.
+template <typename T>
+  requires(std::is_signed_v<T> && std::is_integral_v<T> && sizeof(T) <= 8)
+struct ValueCodec<T> {
+  static std::uint64_t encode(T v) {
+    const auto s = static_cast<std::int64_t>(v);
+    const auto zz =
+        (static_cast<std::uint64_t>(s) << 1) ^ static_cast<std::uint64_t>(s >> 63);
+    DCD_ASSERT(zz <= dcas::kMaxPayload);
+    return dcas::encode_payload(zz);
+  }
+  static T decode(std::uint64_t word) {
+    const std::uint64_t zz = dcas::decode_payload(word);
+    return static_cast<T>(static_cast<std::int64_t>(zz >> 1) ^
+                          -static_cast<std::int64_t>(zz & 1));
+  }
+};
+
+// Pointers to 8-aligned objects (the usual way to store arbitrary payloads:
+// the deque holds pointers, the caller owns the pointees).
+template <typename U>
+struct ValueCodec<U*> {
+  static std::uint64_t encode(U* p) {
+    const auto bits = reinterpret_cast<std::uint64_t>(p);
+    DCD_ASSERT((bits & 0x7) == 0 && "stored pointers must be 8-aligned");
+    return dcas::encode_payload(bits >> 3);
+  }
+  static U* decode(std::uint64_t word) {
+    return reinterpret_cast<U*>(dcas::decode_payload(word) << 3);
+  }
+};
+
+}  // namespace dcd::deque

@@ -1,0 +1,116 @@
+// Exhaustive interleaving model of the linked-list deque (§4 / §5.2).
+//
+// The paper's list proof discharges three obligations: the representation
+// invariant of Figures 24/25 holds after every transition; the abstraction
+// function changes only at linearization points, each matching a legal spec
+// transition with the operation's return value; and the delete DCASes
+// (Figure 17/34) preserve the abstract value. This module re-expresses the
+// four operations — including the inlined deleteRight/deleteLeft physical
+// deletion loops — as step machines whose atomic actions are exactly the
+// algorithm's shared reads and DCASes, and explores every interleaving from
+// a chosen start state (notably the four empty configurations of Figure 9,
+// whose two-deleted-nodes instance is the Figure 16 race).
+//
+// Reclamation is modelled as EBR with an infinite grace period: physically
+// deleted nodes are marked retired and never reused, their fields remaining
+// readable — exactly the guarantees GC (or EBR within a pinned operation)
+// provides. A machine dereferencing a retired node is therefore legal; a
+// *reachable* retired node is an invariant violation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcd::model {
+
+// Value-word constants (model-level encoding).
+inline constexpr std::uint64_t kVNull = 0;
+inline constexpr std::uint64_t kVSentL = ~0ull;
+inline constexpr std::uint64_t kVSentR = ~0ull - 1;
+
+// Pointer word: node id + deleted bit.
+struct PtrWord {
+  std::uint32_t id = 0;
+  bool deleted = false;
+
+  bool operator==(const PtrWord&) const = default;
+};
+
+struct ListState {
+  struct MNode {
+    PtrWord left;
+    PtrWord right;
+    std::uint64_t value = kVNull;
+    bool allocated = false;
+    bool retired = false;
+  };
+
+  static constexpr std::uint32_t kSL = 0;
+  static constexpr std::uint32_t kSR = 1;
+
+  std::vector<MNode> nodes;
+
+  // Builders for the Figure 9 configurations (and general populations).
+  static ListState empty(std::size_t arena);
+  static ListState with_items(std::size_t arena,
+                              const std::vector<std::uint64_t>& items);
+  // `right_deleted` / `left_deleted`: append/prepend a logically deleted
+  // (null-valued) node with the corresponding sentinel bit set.
+  static ListState with_deleted(std::size_t arena,
+                                const std::vector<std::uint64_t>& items,
+                                bool left_deleted, bool right_deleted);
+
+  std::uint32_t alloc_node();  // fresh, never-reused id
+
+  std::string key() const;
+};
+
+// Figures 24/25, phrased operationally (see .cpp for the conjunct list).
+bool list_rep_inv(const ListState& st);
+
+// Abstract deque value: non-null interior values, left to right.
+std::vector<std::uint64_t> list_abstraction(const ListState& st);
+
+enum class ListOpKind : std::uint8_t {
+  kPushRight,
+  kPushLeft,
+  kPopRight,
+  kPopLeft,
+};
+
+struct ListOpSpec {
+  ListOpKind kind;
+  std::uint64_t arg = 0;  // pushes only; a nonzero user value
+};
+
+// Injectable bugs, used to validate that the explorer actually detects
+// violations (a verifier that can only say "yes" proves nothing).
+enum class ListMutation : std::uint8_t {
+  kNone,
+  // deleteRight/deleteLeft skip the paper's line-18 check that the *other*
+  // sentinel's deleted bit is set before the pair-DCAS. Under GC-style
+  // no-reuse semantics this turns out to be safety-benign (the pair-DCAS's
+  // own validation subsumes it); the paper uses the check in its
+  // lock-freedom argument. The model test documents this analysis.
+  kPairDeleteSkipsBitCheck,
+  // pushRight/pushLeft skip the line-7 deleted-bit test and splice a new
+  // node after a logically-deleted neighbour, clobbering the pending
+  // physical deletion. A genuine safety bug: the representation invariant
+  // (null node no longer licensed by a sentinel bit) breaks immediately.
+  kPushSkipsDeletedCheck,
+};
+
+struct ListExploreResult {
+  bool ok = false;
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t completions = 0;
+  std::string error;
+};
+
+ListExploreResult explore_list(const ListState& initial,
+                               const std::vector<ListOpSpec>& ops,
+                               ListMutation mutation = ListMutation::kNone);
+
+}  // namespace dcd::model

@@ -1,0 +1,394 @@
+#include "dcd/model/array_model.hpp"
+
+#include <unordered_set>
+
+#include "dcd/util/assert.hpp"
+
+namespace dcd::model {
+
+namespace {
+constexpr std::uint64_t kNull = 0;
+}
+
+ArrayState ArrayState::empty(std::size_t n) {
+  ArrayState st;
+  st.n = n;
+  st.l = 0;
+  st.r = 1 % n;
+  st.s.assign(n, kNull);
+  return st;
+}
+
+ArrayState ArrayState::with_items(std::size_t n,
+                                  const std::vector<std::uint64_t>& items,
+                                  std::size_t l_pos) {
+  DCD_ASSERT(items.size() <= n);
+  ArrayState st;
+  st.n = n;
+  st.l = l_pos % n;
+  st.r = (l_pos + items.size() + 1) % n;
+  st.s.assign(n, kNull);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    DCD_ASSERT(items[i] != kNull);
+    st.s[(l_pos + 1 + i) % n] = items[i];
+  }
+  return st;
+}
+
+std::string ArrayState::key() const {
+  std::string k;
+  k.reserve(s.size() * 8 + 16);
+  auto put = [&k](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) k.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+  };
+  put(l);
+  put(r);
+  for (const std::uint64_t v : s) put(v);
+  return k;
+}
+
+bool rep_inv(const ArrayState& st) {
+  if (st.n == 0 || st.l >= st.n || st.r >= st.n || st.s.size() != st.n) {
+    return false;
+  }
+  if (st.r == (st.l + 1) % st.n) {
+    // Both the empty and the full deque satisfy r == l+1 mod n (the paper's
+    // central ambiguity); anything in between violates the invariant.
+    std::size_t non_null = 0;
+    for (const std::uint64_t v : st.s) non_null += (v != kNull);
+    return non_null == 0 || non_null == st.n;
+  }
+  // Non-wrapped or wrapped segment: cells strictly between L and R (going
+  // rightwards from L+1) hold values; cells from R around to L are null.
+  for (std::size_t i = (st.l + 1) % st.n; i != st.r; i = (i + 1) % st.n) {
+    if (st.s[i] == kNull) return false;
+  }
+  for (std::size_t i = st.r;; i = (i + 1) % st.n) {
+    if (st.s[i] != kNull) return false;
+    if (i == st.l) break;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> abstraction(const ArrayState& st) {
+  std::vector<std::uint64_t> out;
+  if (st.r == (st.l + 1) % st.n) {
+    if (st.s[st.l] == kNull) return out;  // empty
+    out.reserve(st.n);                    // full: n items starting at r
+    for (std::size_t k = 0, i = st.r; k < st.n; ++k, i = (i + 1) % st.n) {
+      out.push_back(st.s[i]);
+    }
+    return out;
+  }
+  for (std::size_t i = (st.l + 1) % st.n; i != st.r; i = (i + 1) % st.n) {
+    out.push_back(st.s[i]);
+  }
+  return out;
+}
+
+namespace {
+
+enum class Pc : std::uint8_t {
+  kReadIndex,     // line 3: read R (or L)
+  kReadCell,      // line 5: read the cell the index implies
+  kRecheck,       // line 7: optional re-read of the index
+  kBoundaryDcas,  // lines 8-10: identity DCAS confirming empty/full
+  kMainDcas,      // lines 14-18: the mutating DCAS (with optional view)
+  kDone,
+};
+
+// What a step did, for the abstraction-function obligation.
+struct Linearization {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kPushed,         // value appended at this op's end
+    kPopped,         // value removed from this op's end
+    kObservedEmpty,  // abstract value must be empty, unchanged
+    kObservedFull,   // abstract value must be full, unchanged
+  } kind = Kind::kNone;
+  std::uint64_t value = 0;
+};
+
+class OpMachine {
+ public:
+  OpMachine(OpSpec spec, deque::ArrayOptions opt, ArrayMutation mutation)
+      : spec_(spec), opt_(opt), mutation_(mutation) {}
+
+  bool done() const { return pc_ == Pc::kDone; }
+  const OpSpec& spec() const { return spec_; }
+  int linearizations() const { return linearizations_; }
+
+  // Result (valid once done).
+  bool push_ok = false;
+  bool pop_has_value = false;
+  std::uint64_t pop_value = 0;
+
+  std::string key() const {
+    std::string k;
+    k.push_back(static_cast<char>(pc_));
+    k.push_back(static_cast<char>(idx_ & 0xff));
+    for (int b = 0; b < 8; ++b) {
+      k.push_back(static_cast<char>((cell_val_ >> (8 * b)) & 0xff));
+    }
+    k.push_back(static_cast<char>(linearizations_));
+    return k;
+  }
+
+  // Executes exactly one atomic action of Figures 2/3/30/31.
+  Linearization step(ArrayState& st) {
+    const bool is_push =
+        spec_.kind == OpKind::kPushRight || spec_.kind == OpKind::kPushLeft;
+    const bool is_right =
+        spec_.kind == OpKind::kPushRight || spec_.kind == OpKind::kPopRight;
+    std::size_t& index_word = is_right ? st.r : st.l;
+
+    switch (pc_) {
+      case Pc::kReadIndex:
+        idx_ = index_word;
+        pc_ = Pc::kReadCell;
+        return {};
+
+      case Pc::kReadCell: {
+        cell_ = cell_of(st.n);
+        cell_val_ = st.s[cell_];
+        const bool boundary = is_push ? (cell_val_ != kNull)
+                                      : (cell_val_ == kNull);
+        if (boundary) {
+          pc_ = opt_.recheck_index ? Pc::kRecheck : Pc::kBoundaryDcas;
+        } else {
+          pc_ = Pc::kMainDcas;
+        }
+        return {};
+      }
+
+      case Pc::kRecheck:
+        pc_ = (index_word == idx_) ? Pc::kBoundaryDcas : Pc::kReadIndex;
+        return {};
+
+      case Pc::kBoundaryDcas: {
+        if (index_word == idx_ && st.s[cell_] == cell_val_) {
+          // Identity DCAS succeeds: the boundary case is confirmed; this is
+          // the operation's linearization point.
+          pc_ = Pc::kDone;
+          ++linearizations_;
+          if (is_push) {
+            push_ok = false;
+            return {Linearization::Kind::kObservedFull, 0};
+          }
+          pop_has_value = false;
+          return {Linearization::Kind::kObservedEmpty, 0};
+        }
+        pc_ = Pc::kReadIndex;
+        return {};
+      }
+
+      case Pc::kMainDcas: {
+        if (index_word == idx_ && st.s[cell_] == cell_val_) {
+          // DCAS succeeds: perform both writes atomically.
+          index_word = new_index(st.n);
+          if (is_push) {
+            st.s[cell_] = spec_.arg;
+          } else if (mutation_ != ArrayMutation::kPopForgetsNull) {
+            st.s[cell_] = kNull;
+          }
+          pc_ = Pc::kDone;
+          ++linearizations_;
+          if (is_push) {
+            push_ok = true;
+            return {Linearization::Kind::kPushed, spec_.arg};
+          }
+          pop_has_value = true;
+          pop_value = cell_val_;
+          return {Linearization::Kind::kPopped, cell_val_};
+        }
+        // DCAS fails. With the strong form we atomically observe the
+        // current pair (lines 17-18).
+        if (opt_.failure_view) {
+          const std::size_t vr = index_word;
+          const std::uint64_t vs = st.s[cell_];
+          if (is_push) {
+            if (vr == idx_) {  // index unchanged => the cell went non-null
+              pc_ = Pc::kDone;
+              ++linearizations_;
+              push_ok = false;
+              return {Linearization::Kind::kObservedFull, 0};
+            }
+          } else {
+            if (vr == idx_ && vs == kNull) {  // popLeft stole the last item
+              pc_ = Pc::kDone;
+              ++linearizations_;
+              pop_has_value = false;
+              return {Linearization::Kind::kObservedEmpty, 0};
+            }
+          }
+        }
+        pc_ = Pc::kReadIndex;
+        return {};
+      }
+
+      case Pc::kDone:
+        DCD_ASSERT(false && "stepping a finished operation");
+    }
+    return {};
+  }
+
+ private:
+  std::size_t cell_of(std::size_t n) const {
+    switch (spec_.kind) {
+      case OpKind::kPushRight: return idx_;                  // S[oldR]
+      case OpKind::kPushLeft: return idx_;                   // S[oldL]
+      case OpKind::kPopRight: return (idx_ + n - 1) % n;     // S[oldR-1]
+      case OpKind::kPopLeft: return (idx_ + 1) % n;          // S[oldL+1]
+    }
+    return 0;
+  }
+
+  std::size_t new_index(std::size_t n) const {
+    switch (spec_.kind) {
+      case OpKind::kPushRight: return (idx_ + 1) % n;
+      case OpKind::kPushLeft: return (idx_ + n - 1) % n;
+      case OpKind::kPopRight: return (idx_ + n - 1) % n;
+      case OpKind::kPopLeft: return (idx_ + 1) % n;
+    }
+    return 0;
+  }
+
+  OpSpec spec_;
+  deque::ArrayOptions opt_;
+  ArrayMutation mutation_;
+  Pc pc_ = Pc::kReadIndex;
+  std::size_t idx_ = 0;        // saved index word value (line 3)
+  std::size_t cell_ = 0;       // the cell the DCAS targets
+  std::uint64_t cell_val_ = 0; // saved cell value (line 5)
+  int linearizations_ = 0;
+};
+
+struct Config {
+  ArrayState shared;
+  std::vector<OpMachine> machines;
+
+  std::string key() const {
+    std::string k = shared.key();
+    for (const auto& m : machines) {
+      k.push_back('|');
+      k += m.key();
+    }
+    return k;
+  }
+};
+
+class Explorer {
+ public:
+  Explorer(const ArrayState& initial, const std::vector<OpSpec>& ops,
+           deque::ArrayOptions opt, ArrayMutation mutation) {
+    root_.shared = initial;
+    for (const OpSpec& s : ops) root_.machines.emplace_back(s, opt, mutation);
+  }
+
+  ExploreResult run() {
+    if (!rep_inv(root_.shared)) {
+      result_.error = "initial state violates RepInv";
+      return result_;
+    }
+    dfs(root_);
+    result_.ok = result_.error.empty();
+    return result_;
+  }
+
+ private:
+  // Checks the abstraction-function obligation for one executed step.
+  bool check_transition(const std::vector<std::uint64_t>& before,
+                        const std::vector<std::uint64_t>& after,
+                        const OpMachine& m, const Linearization& lin,
+                        std::size_t n) {
+    using K = Linearization::Kind;
+    const bool is_right = m.spec().kind == OpKind::kPushRight ||
+                          m.spec().kind == OpKind::kPopRight;
+    switch (lin.kind) {
+      case K::kNone:
+        return before == after;
+      case K::kObservedEmpty:
+        return before.empty() && before == after;
+      case K::kObservedFull:
+        return before.size() == n && before == after;
+      case K::kPushed: {
+        std::vector<std::uint64_t> expect = before;
+        if (is_right) {
+          expect.push_back(lin.value);
+        } else {
+          expect.insert(expect.begin(), lin.value);
+        }
+        return after == expect;
+      }
+      case K::kPopped: {
+        if (before.empty()) return false;
+        std::vector<std::uint64_t> expect = before;
+        if (is_right) {
+          if (expect.back() != lin.value) return false;
+          expect.pop_back();
+        } else {
+          if (expect.front() != lin.value) return false;
+          expect.erase(expect.begin());
+        }
+        return after == expect;
+      }
+    }
+    return false;
+  }
+
+  void dfs(const Config& c) {
+    if (!result_.error.empty()) return;
+    if (!visited_.insert(c.key()).second) return;
+    ++result_.states;
+
+    bool all_done = true;
+    for (std::size_t i = 0; i < c.machines.size(); ++i) {
+      if (c.machines[i].done()) continue;
+      all_done = false;
+
+      Config next = c;
+      const auto before = abstraction(next.shared);
+      const Linearization lin = next.machines[i].step(next.shared);
+      ++result_.transitions;
+
+      if (!rep_inv(next.shared)) {
+        result_.error = "RepInv violated after step of op #" +
+                        std::to_string(i);
+        return;
+      }
+      const auto after = abstraction(next.shared);
+      if (!check_transition(before, after, next.machines[i], lin,
+                            next.shared.n)) {
+        result_.error =
+            "abstract transition violated at step of op #" +
+            std::to_string(i);
+        return;
+      }
+      if (next.machines[i].done() && next.machines[i].linearizations() != 1) {
+        result_.error = "op #" + std::to_string(i) +
+                        " finished with linearization count " +
+                        std::to_string(next.machines[i].linearizations());
+        return;
+      }
+      dfs(next);
+      if (!result_.error.empty()) return;
+    }
+    if (all_done) ++result_.completions;
+  }
+
+  Config root_;
+  ExploreResult result_;
+  std::unordered_set<std::string> visited_;
+};
+
+}  // namespace
+
+ExploreResult explore_array(const ArrayState& initial,
+                            const std::vector<OpSpec>& ops,
+                            deque::ArrayOptions options,
+                            ArrayMutation mutation) {
+  Explorer explorer(initial, ops, options, mutation);
+  return explorer.run();
+}
+
+}  // namespace dcd::model

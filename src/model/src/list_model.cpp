@@ -1,0 +1,588 @@
+#include "dcd/model/list_model.hpp"
+
+#include <unordered_set>
+
+#include "dcd/util/assert.hpp"
+
+namespace dcd::model {
+
+// --- state builders ---------------------------------------------------------
+
+ListState ListState::empty(std::size_t arena) {
+  ListState st;
+  st.nodes.resize(2 + arena);
+  st.nodes[kSL].allocated = true;
+  st.nodes[kSL].value = kVSentL;
+  st.nodes[kSL].right = {kSR, false};
+  st.nodes[kSR].allocated = true;
+  st.nodes[kSR].value = kVSentR;
+  st.nodes[kSR].left = {kSL, false};
+  return st;
+}
+
+ListState ListState::with_items(std::size_t arena,
+                                const std::vector<std::uint64_t>& items) {
+  return with_deleted(arena, items, false, false);
+}
+
+ListState ListState::with_deleted(std::size_t arena,
+                                  const std::vector<std::uint64_t>& items,
+                                  bool left_deleted, bool right_deleted) {
+  // Chain layout (left to right): SL, [left null node], items..., [right
+  // null node], SR — the Figure 9 family.
+  ListState st = empty(arena + items.size() + 2);
+  std::vector<std::uint32_t> chain;
+  chain.push_back(kSL);
+  if (left_deleted) {
+    const std::uint32_t id = st.alloc_node();
+    st.nodes[id].value = kVNull;
+    chain.push_back(id);
+  }
+  for (const std::uint64_t v : items) {
+    DCD_ASSERT(v != kVNull && v != kVSentL && v != kVSentR);
+    const std::uint32_t id = st.alloc_node();
+    st.nodes[id].value = v;
+    chain.push_back(id);
+  }
+  if (right_deleted) {
+    const std::uint32_t id = st.alloc_node();
+    st.nodes[id].value = kVNull;
+    chain.push_back(id);
+  }
+  chain.push_back(kSR);
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const std::uint32_t a = chain[i], b = chain[i + 1];
+    if (a == kSL) {
+      st.nodes[kSL].right = {b, left_deleted && b != kSR};
+    } else {
+      st.nodes[a].right = {b, false};
+    }
+    if (b == kSR) {
+      st.nodes[kSR].left = {a, right_deleted && a != kSL};
+    } else {
+      st.nodes[b].left = {a, false};
+    }
+  }
+  return st;
+}
+
+std::uint32_t ListState::alloc_node() {
+  for (std::uint32_t i = 2; i < nodes.size(); ++i) {
+    if (!nodes[i].allocated) {
+      nodes[i].allocated = true;
+      return i;
+    }
+  }
+  DCD_ASSERT(false && "model arena exhausted");
+  return 0;
+}
+
+std::string ListState::key() const {
+  std::string k;
+  k.reserve(nodes.size() * 12);
+  for (const MNode& n : nodes) {
+    k.push_back(static_cast<char>(n.left.id));
+    k.push_back(n.left.deleted ? 'd' : '.');
+    k.push_back(static_cast<char>(n.right.id));
+    k.push_back(n.right.deleted ? 'd' : '.');
+    for (int b = 0; b < 8; ++b) {
+      k.push_back(static_cast<char>((n.value >> (8 * b)) & 0xff));
+    }
+    k.push_back(static_cast<char>(n.allocated | (n.retired << 1)));
+  }
+  return k;
+}
+
+// --- RepInv and abstraction --------------------------------------------------
+
+namespace {
+
+// Walks SL -> SR via right pointers; returns false on malformed chains.
+bool chain_of(const ListState& st, std::vector<std::uint32_t>& interior) {
+  interior.clear();
+  std::uint32_t cur = ListState::kSL;
+  for (std::size_t steps = 0; steps <= st.nodes.size(); ++steps) {
+    const PtrWord r = st.nodes[cur].right;
+    if (r.id >= st.nodes.size()) return false;
+    if (r.id == ListState::kSR) return true;
+    if (r.id == ListState::kSL) return false;
+    interior.push_back(r.id);
+    cur = r.id;
+  }
+  return false;  // cycle
+}
+
+}  // namespace
+
+bool list_rep_inv(const ListState& st) {
+  const auto& sl = st.nodes[ListState::kSL];
+  const auto& sr = st.nodes[ListState::kSR];
+  // Fixed sentinel values (used by the line-5 empty test's justification).
+  if (sl.value != kVSentL || sr.value != kVSentR) return false;
+
+  std::vector<std::uint32_t> interior;
+  if (!chain_of(st, interior)) return false;
+
+  // Distinctness.
+  for (std::size_t i = 0; i < interior.size(); ++i) {
+    for (std::size_t j = i + 1; j < interior.size(); ++j) {
+      if (interior[i] == interior[j]) return false;
+    }
+  }
+
+  // Left pointers mirror the chain; interior pointer words carry no
+  // deleted bits (only the sentinels' inward words may).
+  std::uint32_t prev = ListState::kSL;
+  for (const std::uint32_t id : interior) {
+    const auto& n = st.nodes[id];
+    if (n.left.id != prev || n.left.deleted) return false;
+    if (n.right.deleted) return false;
+    if (!n.allocated || n.retired) return false;
+    if (n.value == kVSentL || n.value == kVSentR) return false;
+    prev = id;
+  }
+  if (sr.left.id != prev) return false;
+
+  const bool rdel = sr.left.deleted;
+  const bool ldel = sl.right.deleted;
+  // A set bit implies the adjacent node exists and is null; pointing at
+  // the opposite sentinel with the bit set is never legal.
+  if (rdel && (interior.empty() || st.nodes[interior.back()].value != kVNull)) {
+    return false;
+  }
+  if (ldel && (interior.empty() || st.nodes[interior.front()].value != kVNull)) {
+    return false;
+  }
+  if (rdel && ldel && interior.size() < 2) return false;
+
+  // Null values appear only where a sentinel bit licenses them (the last
+  // four conjuncts of Figure 25).
+  for (std::size_t i = 0; i < interior.size(); ++i) {
+    const bool licensed = (i == 0 && ldel) ||
+                          (i + 1 == interior.size() && rdel);
+    if (st.nodes[interior[i]].value == kVNull && !licensed) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> list_abstraction(const ListState& st) {
+  std::vector<std::uint64_t> out;
+  std::vector<std::uint32_t> interior;
+  if (!chain_of(st, interior)) return out;
+  for (const std::uint32_t id : interior) {
+    if (st.nodes[id].value != kVNull) out.push_back(st.nodes[id].value);
+  }
+  return out;
+}
+
+// --- step machines -----------------------------------------------------------
+
+namespace {
+
+enum class Pc : std::uint8_t {
+  // pop
+  kReadSent,
+  kReadValue,
+  kConfirmEmptyDcas,
+  kPopDcas,
+  // push
+  kPushReadSent,
+  kPushDcas,
+  // physical-delete sub-machine (Figure 17 / 34)
+  kDelReadSent,
+  kDelReadNeighborPtr,
+  kDelReadNeighborVal,
+  kDelReadNeighborInward,
+  kDelSpliceDcas,
+  kDelReadOtherSent,
+  kDelPairDcas,
+  kDone,
+};
+
+struct Linearization {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kPushed,
+    kPopped,
+    kObservedEmpty,        // at this step (confirm DCAS success)
+    kObservedEmptyAtRead,  // linearized at the earlier sentinel read
+  } kind = Kind::kNone;
+  std::uint64_t value = 0;
+};
+
+class ListOpMachine {
+ public:
+  ListOpMachine(ListOpSpec spec, std::uint32_t push_node,
+                ListMutation mutation)
+      : spec_(spec), push_node_(push_node), mutation_(mutation) {
+    const bool is_pop = spec.kind == ListOpKind::kPopRight ||
+                        spec.kind == ListOpKind::kPopLeft;
+    pc_ = is_pop ? Pc::kReadSent : Pc::kPushReadSent;
+  }
+
+  bool done() const { return pc_ == Pc::kDone; }
+  const ListOpSpec& spec() const { return spec_; }
+  int linearizations() const { return linearizations_; }
+  bool empty_at_sent_read() const { return empty_at_sent_read_; }
+
+  bool push_ok = false;
+  bool pop_has_value = false;
+  std::uint64_t pop_value = 0;
+
+  std::string key() const {
+    std::string k;
+    k.push_back(static_cast<char>(pc_));
+    auto put_ptr = [&k](PtrWord w) {
+      k.push_back(static_cast<char>(w.id));
+      k.push_back(w.deleted ? 'd' : '.');
+    };
+    put_ptr(sent_);
+    put_ptr(dl_);
+    put_ptr(llr_);
+    put_ptr(other_);
+    k.push_back(static_cast<char>(ll_));
+    for (int b = 0; b < 8; ++b) {
+      k.push_back(static_cast<char>((v_ >> (8 * b)) & 0xff));
+    }
+    for (int b = 0; b < 8; ++b) {
+      k.push_back(static_cast<char>((llv_ >> (8 * b)) & 0xff));
+    }
+    k.push_back(static_cast<char>(linearizations_));
+    k.push_back(empty_at_sent_read_ ? 'e' : '.');
+    return k;
+  }
+
+  // One atomic action. `abs_empty_now` is the abstraction's emptiness at
+  // this step (needed to *record* the line-3/5 linearization flag).
+  Linearization step(ListState& st, bool abs_empty_now) {
+    switch (pc_) {
+      // ---- pop --------------------------------------------------------
+      case Pc::kReadSent:
+        sent_ = inward(st);
+        empty_at_sent_read_ = abs_empty_now;
+        pc_ = Pc::kReadValue;
+        return {};
+
+      case Pc::kReadValue: {
+        v_ = st.nodes[sent_.id].value;
+        if (v_ == opp_sent_value()) {
+          // Line 5: return "empty", linearized at the kReadSent read.
+          pc_ = Pc::kDone;
+          ++linearizations_;
+          pop_has_value = false;
+          return {Linearization::Kind::kObservedEmptyAtRead, 0};
+        }
+        if (sent_.deleted) {
+          resume_ = Pc::kReadSent;
+          pc_ = Pc::kDelReadSent;
+        } else if (v_ == kVNull) {
+          pc_ = Pc::kConfirmEmptyDcas;
+        } else {
+          pc_ = Pc::kPopDcas;
+        }
+        return {};
+      }
+
+      case Pc::kConfirmEmptyDcas: {
+        // Lines 9-11: identity DCAS over {sentinel word, value}.
+        if (inward(st) == sent_ && st.nodes[sent_.id].value == v_) {
+          pc_ = Pc::kDone;
+          ++linearizations_;
+          pop_has_value = false;
+          return {Linearization::Kind::kObservedEmpty, 0};
+        }
+        pc_ = Pc::kReadSent;
+        return {};
+      }
+
+      case Pc::kPopDcas: {
+        // Lines 14-18: logical delete.
+        if (inward(st) == sent_ && st.nodes[sent_.id].value == v_) {
+          inward(st) = PtrWord{sent_.id, true};
+          st.nodes[sent_.id].value = kVNull;
+          pc_ = Pc::kDone;
+          ++linearizations_;
+          pop_has_value = true;
+          pop_value = v_;
+          return {Linearization::Kind::kPopped, v_};
+        }
+        pc_ = Pc::kReadSent;
+        return {};
+      }
+
+      // ---- push -------------------------------------------------------
+      case Pc::kPushReadSent:
+        sent_ = inward(st);
+        if (mutation_ == ListMutation::kPushSkipsDeletedCheck) {
+          pc_ = Pc::kPushDcas;  // injected bug: line 7 deleted
+        } else {
+          pc_ = sent_.deleted ? Pc::kDelReadSent : Pc::kPushDcas;
+        }
+        resume_ = Pc::kPushReadSent;
+        return {};
+
+      case Pc::kPushDcas: {
+        // Lines 10-17: private init + splice. The private stores are not
+        // shared-memory steps; they fold into this DCAS's atomic action.
+        auto& mine = st.nodes[push_node_];
+        toward_other(mine) = sent_;
+        toward_sent(mine) = PtrWord{my_sent_id(), false};
+        mine.value = spec_.arg;
+        auto& neighbor = st.nodes[sent_.id];
+        const PtrWord expect_neighbor{my_sent_id(), false};
+        if (inward(st) == sent_ && toward_sent(neighbor) == expect_neighbor) {
+          inward(st) = PtrWord{push_node_, false};
+          toward_sent(neighbor) = PtrWord{push_node_, false};
+          pc_ = Pc::kDone;
+          ++linearizations_;
+          push_ok = true;
+          return {Linearization::Kind::kPushed, spec_.arg};
+        }
+        pc_ = Pc::kPushReadSent;
+        return {};
+      }
+
+      // ---- deleteRight / deleteLeft ------------------------------------
+      case Pc::kDelReadSent:
+        dl_ = inward(st);
+        pc_ = dl_.deleted ? Pc::kDelReadNeighborPtr : resume_;
+        return {};
+
+      case Pc::kDelReadNeighborPtr:  // line 5: oldLL = oldL.ptr->L.ptr
+        ll_ = toward_other(st.nodes[dl_.id]).id;
+        pc_ = Pc::kDelReadNeighborVal;
+        return {};
+
+      case Pc::kDelReadNeighborVal:  // line 6
+        llv_ = st.nodes[ll_].value;
+        pc_ = (llv_ != kVNull) ? Pc::kDelReadNeighborInward
+                               : Pc::kDelReadOtherSent;
+        return {};
+
+      case Pc::kDelReadNeighborInward: {  // lines 7-8
+        llr_ = toward_sent(st.nodes[ll_]);
+        pc_ = (llr_.id == dl_.id) ? Pc::kDelSpliceDcas : Pc::kDelReadSent;
+        return {};
+      }
+
+      case Pc::kDelSpliceDcas: {  // lines 9-13
+        if (inward(st) == dl_ && toward_sent(st.nodes[ll_]) == llr_) {
+          inward(st) = PtrWord{ll_, false};
+          toward_sent(st.nodes[ll_]) = PtrWord{my_sent_id(), false};
+          st.nodes[dl_.id].retired = true;
+          pc_ = resume_;  // deleteRight returns on success (line 13)
+        } else {
+          pc_ = Pc::kDelReadSent;
+        }
+        return {};
+      }
+
+      case Pc::kDelReadOtherSent:  // lines 17-18
+        other_ = other_inward(st);
+        if (mutation_ == ListMutation::kPairDeleteSkipsBitCheck) {
+          pc_ = Pc::kDelPairDcas;  // injected bug: line 18 deleted
+        } else {
+          pc_ = other_.deleted ? Pc::kDelPairDcas : Pc::kDelReadSent;
+        }
+        return {};
+
+      case Pc::kDelPairDcas: {  // lines 19-25 (the Figure 16 DCAS)
+        if (inward(st) == dl_ && other_inward(st) == other_) {
+          inward(st) = PtrWord{opp_sent_id(), false};
+          other_inward(st) = PtrWord{my_sent_id(), false};
+          st.nodes[dl_.id].retired = true;
+          st.nodes[other_.id].retired = true;
+          pc_ = resume_;  // success returns to the caller (line 25)
+        } else {
+          pc_ = Pc::kDelReadSent;
+        }
+        return {};
+      }
+
+      case Pc::kDone:
+        DCD_ASSERT(false && "stepping a finished operation");
+    }
+    return {};
+  }
+
+  bool is_right() const {
+    return spec_.kind == ListOpKind::kPushRight ||
+           spec_.kind == ListOpKind::kPopRight;
+  }
+
+ private:
+  std::uint32_t my_sent_id() const {
+    return is_right() ? ListState::kSR : ListState::kSL;
+  }
+  std::uint32_t opp_sent_id() const {
+    return is_right() ? ListState::kSL : ListState::kSR;
+  }
+  std::uint64_t opp_sent_value() const {
+    return is_right() ? kVSentL : kVSentR;
+  }
+  PtrWord& inward(ListState& st) const {
+    return is_right() ? st.nodes[ListState::kSR].left
+                      : st.nodes[ListState::kSL].right;
+  }
+  PtrWord& other_inward(ListState& st) const {
+    return is_right() ? st.nodes[ListState::kSL].right
+                      : st.nodes[ListState::kSR].left;
+  }
+  // Pointer from `n` toward the far end (L for right-side ops).
+  PtrWord& toward_other(ListState::MNode& n) const {
+    return is_right() ? n.left : n.right;
+  }
+  // Pointer from `n` back toward this op's sentinel.
+  PtrWord& toward_sent(ListState::MNode& n) const {
+    return is_right() ? n.right : n.left;
+  }
+
+  ListOpSpec spec_;
+  std::uint32_t push_node_;  // pre-allocated for pushes; unused for pops
+  ListMutation mutation_;
+  Pc pc_;
+  Pc resume_ = Pc::kReadSent;
+  PtrWord sent_{};
+  PtrWord dl_{};
+  PtrWord llr_{};
+  PtrWord other_{};
+  std::uint32_t ll_ = 0;
+  std::uint64_t v_ = 0;
+  std::uint64_t llv_ = 0;
+  int linearizations_ = 0;
+  bool empty_at_sent_read_ = false;
+};
+
+struct ListConfig {
+  ListState shared;
+  std::vector<ListOpMachine> machines;
+
+  std::string key() const {
+    std::string k = shared.key();
+    for (const auto& m : machines) {
+      k.push_back('|');
+      k += m.key();
+    }
+    return k;
+  }
+};
+
+class ListExplorer {
+ public:
+  ListExplorer(const ListState& initial, const std::vector<ListOpSpec>& ops,
+               ListMutation mutation) {
+    root_.shared = initial;
+    for (const ListOpSpec& s : ops) {
+      std::uint32_t node = 0;
+      if (s.kind == ListOpKind::kPushRight ||
+          s.kind == ListOpKind::kPushLeft) {
+        node = root_.shared.alloc_node();
+      }
+      root_.machines.emplace_back(s, node, mutation);
+    }
+  }
+
+  ListExploreResult run() {
+    if (!list_rep_inv(root_.shared)) {
+      result_.error = "initial state violates RepInv";
+      return result_;
+    }
+    dfs(root_);
+    result_.ok = result_.error.empty();
+    return result_;
+  }
+
+ private:
+  bool check_transition(const std::vector<std::uint64_t>& before,
+                        const std::vector<std::uint64_t>& after,
+                        const ListOpMachine& m, const Linearization& lin) {
+    using K = Linearization::Kind;
+    switch (lin.kind) {
+      case K::kNone:
+        return before == after;
+      case K::kObservedEmpty:
+        return before.empty() && before == after;
+      case K::kObservedEmptyAtRead:
+        // Linearized at the earlier sentinel read; the machine recorded
+        // the abstract emptiness there. This read step changes nothing.
+        return m.empty_at_sent_read() && before == after;
+      case K::kPushed: {
+        std::vector<std::uint64_t> expect = before;
+        if (m.is_right()) {
+          expect.push_back(lin.value);
+        } else {
+          expect.insert(expect.begin(), lin.value);
+        }
+        return after == expect;
+      }
+      case K::kPopped: {
+        if (before.empty()) return false;
+        std::vector<std::uint64_t> expect = before;
+        if (m.is_right()) {
+          if (expect.back() != lin.value) return false;
+          expect.pop_back();
+        } else {
+          if (expect.front() != lin.value) return false;
+          expect.erase(expect.begin());
+        }
+        return after == expect;
+      }
+    }
+    return false;
+  }
+
+  void dfs(const ListConfig& c) {
+    if (!result_.error.empty()) return;
+    if (!visited_.insert(c.key()).second) return;
+    ++result_.states;
+
+    bool all_done = true;
+    for (std::size_t i = 0; i < c.machines.size(); ++i) {
+      if (c.machines[i].done()) continue;
+      all_done = false;
+
+      ListConfig next = c;
+      const auto before = list_abstraction(next.shared);
+      const Linearization lin =
+          next.machines[i].step(next.shared, before.empty());
+      ++result_.transitions;
+
+      if (!list_rep_inv(next.shared)) {
+        result_.error =
+            "RepInv violated after step of op #" + std::to_string(i);
+        return;
+      }
+      const auto after = list_abstraction(next.shared);
+      if (!check_transition(before, after, next.machines[i], lin)) {
+        result_.error = "abstract transition violated at step of op #" +
+                        std::to_string(i);
+        return;
+      }
+      if (next.machines[i].done() &&
+          next.machines[i].linearizations() != 1) {
+        result_.error = "op #" + std::to_string(i) +
+                        " finished with linearization count " +
+                        std::to_string(next.machines[i].linearizations());
+        return;
+      }
+      dfs(next);
+      if (!result_.error.empty()) return;
+    }
+    if (all_done) ++result_.completions;
+  }
+
+  ListConfig root_;
+  ListExploreResult result_;
+  std::unordered_set<std::string> visited_;
+};
+
+}  // namespace
+
+ListExploreResult explore_list(const ListState& initial,
+                               const std::vector<ListOpSpec>& ops,
+                               ListMutation mutation) {
+  ListExplorer explorer(initial, ops, mutation);
+  return explorer.run();
+}
+
+}  // namespace dcd::model

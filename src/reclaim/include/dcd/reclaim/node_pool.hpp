@@ -1,0 +1,124 @@
+// Fixed-capacity, cache-line-aligned node pool.
+//
+// The paper's New() allocator is modelled as a lock-free free list over a
+// pre-allocated slab. Allocation failure is observable (returns nullptr),
+// which drives the paper's "push returns full when the allocator fails"
+// path (footnote 3).
+//
+// ABA-freedom of the Treiber free list relies on the usage contract:
+// pops happen inside an EBR guard and pushes happen only through EBR
+// reclamation callbacks (or before any concurrency starts). A node can then
+// never leave and re-enter the free list within one guard, so the classic
+// pop-pop-push ABA interleaving is impossible.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#include "dcd/util/align.hpp"
+#include "dcd/util/assert.hpp"
+
+namespace dcd::reclaim {
+
+class NodePool {
+ public:
+  // Every allocation is `node_size` bytes, aligned to a cache line (which
+  // also guarantees the low 3 bits of node addresses are zero — the word
+  // encoding in dcd::dcas relies on this).
+  NodePool(std::size_t node_size, std::size_t capacity)
+      : node_size_(round_up(node_size)), capacity_(capacity) {
+    DCD_ASSERT(capacity > 0);
+    slab_ = static_cast<std::byte*>(::operator new(
+        node_size_ * capacity_, std::align_val_t{util::kCacheLineSize}));
+    // Thread the free list through the slab; construction is
+    // single-threaded so plain pushes are fine.
+    FreeNode* head = nullptr;
+    for (std::size_t i = capacity_; i-- > 0;) {
+      auto* fn = reinterpret_cast<FreeNode*>(slab_ + i * node_size_);
+      fn->next.store(head, std::memory_order_relaxed);
+      head = fn;
+    }
+    head_->store(head, std::memory_order_relaxed);
+  }
+
+  ~NodePool() {
+    ::operator delete(slab_, std::align_val_t{util::kCacheLineSize});
+  }
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  // Pops a node; nullptr when exhausted. Caller must hold an EBR guard if
+  // other threads may be deallocating concurrently.
+  void* allocate() noexcept {
+    FreeNode* head = head_->load(std::memory_order_acquire);
+    while (head != nullptr) {
+      FreeNode* next = head->next.load(std::memory_order_relaxed);
+      if (head_->compare_exchange_weak(head, next, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        live_.fetch_add(1, std::memory_order_relaxed);
+        return head;
+      }
+    }
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  // Pushes a node back. Safe only from EBR reclamation callbacks or when
+  // the caller owns the node exclusively (see class comment).
+  void deallocate(void* p) noexcept {
+    DCD_DEBUG_ASSERT(owns(p));
+    auto* fn = static_cast<FreeNode*>(p);
+    FreeNode* head = head_->load(std::memory_order_relaxed);
+    do {
+      fn->next.store(head, std::memory_order_relaxed);
+    } while (!head_->compare_exchange_weak(head, fn,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed));
+    live_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // EbrDomain-compatible deleter: ctx is the pool.
+  static void deallocate_cb(void* p, void* ctx) {
+    static_cast<NodePool*>(ctx)->deallocate(p);
+  }
+
+  bool owns(const void* p) const noexcept {
+    const auto* b = static_cast<const std::byte*>(p);
+    return b >= slab_ && b < slab_ + node_size_ * capacity_ &&
+           (static_cast<std::size_t>(b - slab_) % node_size_) == 0;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t node_size() const noexcept { return node_size_; }
+  std::uint64_t live() const noexcept {
+    return live_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t allocation_failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct FreeNode {
+    // Atomic: the link overlays node field words, and a speculative
+    // allocate() may read it while another thread's re-initialising
+    // atomic store to the reused node lands on the same bytes.
+    std::atomic<FreeNode*> next;
+  };
+
+  static std::size_t round_up(std::size_t n) noexcept {
+    const std::size_t a = util::kCacheLineSize;
+    return (n + a - 1) / a * a;
+  }
+
+  std::size_t node_size_;
+  std::size_t capacity_;
+  std::byte* slab_ = nullptr;
+  util::CacheAligned<std::atomic<FreeNode*>> head_;
+  std::atomic<std::uint64_t> live_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace dcd::reclaim

@@ -1,0 +1,63 @@
+// Reclamation policies for the linked-list deque.
+//
+// The paper assumes GC (§2); ListDeque is parameterised on one of these
+// policies so experiment E7 can compare the substitutes. A policy provides
+// a Guard (pinned for the duration of every operation) and retire()
+// (called once a node has been physically unlinked).
+#pragma once
+
+#include "dcd/reclaim/ebr.hpp"
+#include "dcd/reclaim/node_pool.hpp"
+
+namespace dcd::reclaim {
+
+// Epoch-based reclamation: nodes return to the pool after a grace period.
+// This is the default and the closest match to GC's guarantees (no
+// use-after-free, no address reuse while an operation might hold a
+// reference — hence no ABA).
+class EbrReclaim {
+ public:
+  static constexpr const char* kName = "ebr";
+
+  class Guard {
+   public:
+    explicit Guard(EbrReclaim& r) : g_(r.domain_) {}
+
+   private:
+    EbrDomain::Guard g_;
+  };
+
+  void retire(void* node, NodePool& pool) {
+    domain_.retire(node, NodePool::deallocate_cb, &pool);
+  }
+
+  // Prompt best-effort reclamation (tests).
+  void collect() { domain_.collect(); }
+
+  EbrDomain& domain() { return domain_; }
+
+ private:
+  EbrDomain domain_;
+};
+
+// No reclamation: unlinked nodes are abandoned until the owning deque is
+// destroyed (their slab storage is released wholesale with the pool). The
+// E7 upper bound: zero reclamation overhead, unbounded memory growth.
+class LeakyReclaim {
+ public:
+  static constexpr const char* kName = "leaky";
+
+  class Guard {
+   public:
+    explicit Guard(LeakyReclaim&) {}
+  };
+
+  void retire(void* node, NodePool& pool) {
+    (void)node;
+    (void)pool;
+  }
+
+  void collect() {}
+};
+
+}  // namespace dcd::reclaim

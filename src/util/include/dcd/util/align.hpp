@@ -1,0 +1,34 @@
+// Cache-line layout helpers.
+//
+// Contended shared words are padded to a destructive-interference boundary
+// so that independent words (e.g. the deque's L and R indices, which the
+// paper stresses can be operated on concurrently) never share a line.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace dcd::util {
+
+// std::hardware_destructive_interference_size is 64 on every x86-64 libc we
+// target but is not always defined; pin the value so ABI does not drift.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Wraps T in its own cache line. T must be at most one line wide.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(sizeof(CacheAligned<char>) == kCacheLineSize);
+static_assert(alignof(CacheAligned<char>) == kCacheLineSize);
+
+}  // namespace dcd::util

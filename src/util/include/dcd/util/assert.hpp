@@ -1,0 +1,38 @@
+// Lightweight always-on invariant checks for the dcd library.
+//
+// Lock-free code fails in ways that ordinary asserts compiled out in release
+// builds would silently miss, so DCD_ASSERT stays enabled in all build
+// types. The cost is a predictable branch per check; none of the checks sit
+// on an operation's retry path.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcd::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "dcd assertion failed: %s (%s:%d)\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace dcd::util
+
+#define DCD_ASSERT(expr)                                     \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::dcd::util::assert_fail(#expr, __FILE__, __LINE__);   \
+    }                                                        \
+  } while (0)
+
+// Checks that document algorithm invariants but are too hot for release
+// builds; enabled when NDEBUG is not defined.
+#ifndef NDEBUG
+#define DCD_DEBUG_ASSERT(expr) DCD_ASSERT(expr)
+#else
+#define DCD_DEBUG_ASSERT(expr) \
+  do {                         \
+  } while (0)
+#endif

@@ -1,0 +1,67 @@
+// Bounded exponential backoff for retry loops.
+//
+// On a machine with fewer hardware threads than software threads (notably
+// the single-core CI host this repo is developed on), pure spinning starves
+// the thread that would make progress, so the backoff escalates from PAUSE
+// to sched_yield once the spin budget is exhausted. All retry loops in the
+// deque implementations take an optional Backoff so tests can run reliably
+// regardless of core count.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace dcd::util {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // Fallback: a compiler barrier so the loop is not optimised into a
+  // re-read-free spin.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class Backoff {
+ public:
+  // `spin_limit` bounds the number of PAUSE iterations in the final
+  // doubling step before the backoff starts yielding the CPU.
+  explicit Backoff(std::uint32_t spin_limit = 1024) noexcept
+      : spin_limit_(spin_limit) {}
+
+  // Call once per failed attempt.
+  void pause() noexcept {
+    if (current_ <= spin_limit_) {
+      for (std::uint32_t i = 0; i < current_; ++i) {
+        cpu_relax();
+      }
+      current_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { current_ = 1; }
+
+  // Number of pause() calls since construction/reset; used by benches to
+  // report retry pressure.
+  std::uint64_t pauses() const noexcept { return count_helper(); }
+
+ private:
+  std::uint64_t count_helper() const noexcept {
+    // current_ doubles from 1, so log2(current_) == number of spin rounds.
+    std::uint64_t n = 0;
+    for (std::uint32_t c = current_; c > 1; c /= 2) ++n;
+    return n;
+  }
+
+  std::uint32_t spin_limit_;
+  std::uint32_t current_ = 1;
+};
+
+}  // namespace dcd::util

@@ -1,0 +1,58 @@
+// Latency/throughput summaries for the benchmark harness.
+//
+// google-benchmark reports wall time per iteration; the experiment harness
+// additionally wants retry counts and tail latencies, which it collects
+// through these types and prints as extra counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcd::util {
+
+// Streaming summary: count / mean / min / max / variance (Welford).
+class Summary {
+ public:
+  void add(double x) noexcept;
+  void merge(const Summary& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bucket log2 histogram of non-negative integer samples (e.g. retry
+// counts, cycle latencies). Bucket i holds samples in [2^i, 2^(i+1)).
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::uint64_t x) noexcept;
+  void merge(const Log2Histogram& other) noexcept;
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t bucket(int i) const noexcept { return buckets_[i]; }
+
+  // Approximate p-quantile (0 < q <= 1) as the upper bound of the bucket
+  // containing it.
+  std::uint64_t quantile(double q) const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dcd::util

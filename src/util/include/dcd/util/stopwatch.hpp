@@ -1,0 +1,32 @@
+// Monotonic timing helper.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dcd::util {
+
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace dcd::util

@@ -1,0 +1,24 @@
+// Host topology probe.
+//
+// The benchmark harness reports hardware concurrency alongside results so
+// that single-core hosts (where "parallel" throughput is really preemptive
+// interleaving) are distinguishable from true multiprocessors — see
+// EXPERIMENTS.md for why this matters when comparing against the paper's
+// qualitative claims.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dcd::util {
+
+struct Topology {
+  std::size_t hardware_threads;
+  bool single_core;  // true when hardware_threads <= 1
+
+  std::string describe() const;
+};
+
+Topology probe_topology();
+
+}  // namespace dcd::util

@@ -1,0 +1,81 @@
+#include "dcd/util/stats.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace dcd::util {
+
+void Summary::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  n_ += other.n_;
+}
+
+double Summary::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Log2Histogram::add(std::uint64_t x) noexcept {
+  const int bucket = x == 0 ? 0 : std::bit_width(x) - 1;
+  ++buckets_[bucket];
+  ++total_;
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+}
+
+std::uint64_t Log2Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return i == 63 ? ~0ull : (1ull << (i + 1)) - 1;
+    }
+  }
+  return ~0ull;
+}
+
+std::string Log2Histogram::to_string() const {
+  std::string out;
+  char line[96];
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    std::snprintf(line, sizeof(line), "[2^%02d, 2^%02d): %llu\n", i, i + 1,
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dcd::util

@@ -1,0 +1,24 @@
+#include "dcd/util/topology.hpp"
+
+#include <thread>
+
+namespace dcd::util {
+
+Topology probe_topology() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  Topology t;
+  t.hardware_threads = hw == 0 ? 1 : hw;
+  t.single_core = t.hardware_threads <= 1;
+  return t;
+}
+
+std::string Topology::describe() const {
+  std::string s = "hardware_threads=" + std::to_string(hardware_threads);
+  if (single_core) {
+    s += " (single core: thread interleaving is preemptive, throughput "
+         "numbers measure algorithmic overhead, not parallel speedup)";
+  }
+  return s;
+}
+
+}  // namespace dcd::util

@@ -1,0 +1,140 @@
+// Workload driver: runs randomized concurrent op mixes against any deque
+// implementation, optionally recording a History for the linearizability
+// checker.
+//
+// Values pushed are globally unique ((thread id << 40) | sequence), which
+// both catches lost/duplicated elements outright and keeps the checker's
+// search tractable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "dcd/deque/types.hpp"
+#include "dcd/util/barrier.hpp"
+#include "dcd/util/rng.hpp"
+#include "dcd/verify/history.hpp"
+
+namespace dcd::verify {
+
+struct WorkloadConfig {
+  std::size_t threads = 2;
+  std::size_t ops_per_thread = 8;
+  std::uint64_t seed = 1;
+  // Relative weights of the four op types.
+  unsigned push_right = 1;
+  unsigned push_left = 1;
+  unsigned pop_right = 1;
+  unsigned pop_left = 1;
+};
+
+// Runs the workload; returns the merged history (ops in per-thread order;
+// the checker only cares about tickets).
+template <typename D>
+History run_recorded(D& deque, const WorkloadConfig& cfg) {
+  std::vector<std::vector<Operation>> per_thread(cfg.threads);
+  util::SpinBarrier barrier(cfg.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+
+  for (std::size_t t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(cfg.seed * 0x9e3779b9ull + t + 1);
+      auto& log = per_thread[t];
+      log.reserve(cfg.ops_per_thread);
+      const unsigned total_weight =
+          cfg.push_right + cfg.push_left + cfg.pop_right + cfg.pop_left;
+      barrier.arrive_and_wait();
+      for (std::size_t i = 0; i < cfg.ops_per_thread; ++i) {
+        Operation op;
+        unsigned pick = static_cast<unsigned>(rng.below(total_weight));
+        if (pick < cfg.push_right) {
+          op.type = OpType::kPushRight;
+        } else if ((pick -= cfg.push_right) < cfg.push_left) {
+          op.type = OpType::kPushLeft;
+        } else if ((pick -= cfg.push_left) < cfg.pop_right) {
+          op.type = OpType::kPopRight;
+        } else {
+          op.type = OpType::kPopLeft;
+        }
+        op.arg = (static_cast<std::uint64_t>(t) << 40) | i;
+        op.invoke_seq = HistoryClock::tick();
+        switch (op.type) {
+          case OpType::kPushRight:
+            op.push_ok =
+                deque.push_right(op.arg) == deque::PushResult::kOkay;
+            break;
+          case OpType::kPushLeft:
+            op.push_ok = deque.push_left(op.arg) == deque::PushResult::kOkay;
+            break;
+          case OpType::kPopRight: {
+            const std::optional<std::uint64_t> v = deque.pop_right();
+            op.pop_has_value = v.has_value();
+            op.pop_value = v.value_or(0);
+            break;
+          }
+          case OpType::kPopLeft: {
+            const std::optional<std::uint64_t> v = deque.pop_left();
+            op.pop_has_value = v.has_value();
+            op.pop_value = v.value_or(0);
+            break;
+          }
+        }
+        op.response_seq = HistoryClock::tick();
+        log.push_back(op);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  History history;
+  for (auto& log : per_thread) {
+    history.ops.insert(history.ops.end(), log.begin(), log.end());
+  }
+  return history;
+}
+
+// Same workload without recording (stress / leak tests). Returns the net
+// number of successful pushes minus successful pops (the expected residual
+// population).
+template <typename D>
+std::int64_t run_unrecorded(D& deque, const WorkloadConfig& cfg) {
+  std::vector<std::int64_t> net(cfg.threads, 0);
+  util::SpinBarrier barrier(cfg.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+
+  for (std::size_t t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(cfg.seed * 0x9e3779b9ull + t + 1);
+      const unsigned total_weight =
+          cfg.push_right + cfg.push_left + cfg.pop_right + cfg.pop_left;
+      std::int64_t delta = 0;
+      barrier.arrive_and_wait();
+      for (std::size_t i = 0; i < cfg.ops_per_thread; ++i) {
+        const std::uint64_t value =
+            (static_cast<std::uint64_t>(t) << 40) | i;
+        unsigned pick = static_cast<unsigned>(rng.below(total_weight));
+        if (pick < cfg.push_right) {
+          if (deque.push_right(value) == deque::PushResult::kOkay) ++delta;
+        } else if ((pick -= cfg.push_right) < cfg.push_left) {
+          if (deque.push_left(value) == deque::PushResult::kOkay) ++delta;
+        } else if ((pick -= cfg.push_left) < cfg.pop_right) {
+          if (deque.pop_right().has_value()) --delta;
+        } else {
+          if (deque.pop_left().has_value()) --delta;
+        }
+      }
+      net[t] = delta;
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::int64_t total = 0;
+  for (const std::int64_t d : net) total += d;
+  return total;
+}
+
+}  // namespace dcd::verify

@@ -1,0 +1,53 @@
+// Concurrent-history representation (§2's computation model).
+//
+// Operations carry invocation/response tickets drawn from one global
+// atomic counter, which realises the paper's "real-time order": operation A
+// precedes B iff A's response ticket is smaller than B's invocation ticket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcd::verify {
+
+enum class OpType : std::uint8_t {
+  kPushRight,
+  kPushLeft,
+  kPopRight,
+  kPopLeft,
+};
+
+const char* op_name(OpType t);
+
+struct Operation {
+  OpType type{};
+  std::uint64_t arg = 0;      // pushes: the value pushed
+  bool push_ok = false;       // pushes: okay (true) / full (false)
+  bool pop_has_value = false; // pops: value (true) / empty (false)
+  std::uint64_t pop_value = 0;
+  std::uint64_t invoke_seq = 0;
+  std::uint64_t response_seq = 0;
+
+  std::string describe() const;
+};
+
+struct History {
+  std::vector<Operation> ops;
+
+  std::string describe() const;
+};
+
+// Global real-time ticket source shared by all recorded deques.
+class HistoryClock {
+ public:
+  static std::uint64_t tick() {
+    return counter_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  static inline std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace dcd::verify

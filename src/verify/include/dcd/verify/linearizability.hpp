@@ -1,0 +1,53 @@
+// Wing–Gong / WGL linearizability checker with state memoisation.
+//
+// The repo's substitute for the paper's Simplify proofs of Theorems 3.1 and
+// 4.1: instead of proving every interleaving correct, recorded concurrent
+// histories are checked for the existence of a legal linearization — a
+// total order extending the real-time order under which the sequential
+// SpecDeque produces exactly the observed return values.
+//
+// Search: depth-first over "next operation to linearize" choices. An
+// operation is eligible when every operation that precedes it in real time
+// has already been linearized. Visited (linearized-set, spec-state) pairs
+// are memoised exactly (no hashing-only shortcuts, so a "no" answer is a
+// real counterexample, not a collision artefact).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcd/verify/history.hpp"
+#include "dcd/verify/spec_deque.hpp"
+
+namespace dcd::verify {
+
+enum class Verdict {
+  kLinearizable,
+  kNotLinearizable,
+  kLimitExceeded,  // search budget exhausted before an answer
+};
+
+struct CheckResult {
+  Verdict verdict = Verdict::kLimitExceeded;
+  // On success: indices into history.ops in linearization order.
+  std::vector<std::size_t> witness;
+  std::uint64_t states_explored = 0;
+  std::string message;
+
+  bool ok() const { return verdict == Verdict::kLinearizable; }
+};
+
+// `capacity` is the deque bound the history was produced against
+// (SpecDeque::kUnbounded for the list deque). `state_limit` bounds the
+// number of DFS states explored.
+CheckResult check_linearizable(const History& history, std::size_t capacity,
+                               std::uint64_t state_limit = 50'000'000);
+
+// Applies `op` to `spec` if the recorded outcome is consistent with the
+// spec's current state; returns false (spec untouched) otherwise. Exposed
+// for the model checker, which replays interleavings through the same
+// oracle.
+bool apply_if_consistent(SpecDeque& spec, const Operation& op);
+
+}  // namespace dcd::verify

@@ -1,0 +1,53 @@
+// Executable sequential specification of the deque (§2.2).
+//
+// The state machine over sequences S = <v0 ... vk>: pushes append at either
+// end ("full" when |S| = length_S), pops remove from either end ("empty"
+// when |S| = 0). This is the oracle against which every implementation is
+// checked — directly for sequential conformance, and through the
+// linearizability checker for concurrent histories (the role the Simplify
+// axioms of Figure 35 play in the paper's proofs).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "dcd/deque/types.hpp"
+
+namespace dcd::verify {
+
+class SpecDeque {
+ public:
+  // capacity == kUnbounded models the unbounded (linked-list) deque, whose
+  // pushes never return "full" (§2.2).
+  static constexpr std::size_t kUnbounded = ~std::size_t{0};
+
+  explicit SpecDeque(std::size_t capacity) : capacity_(capacity) {}
+
+  deque::PushResult push_right(std::uint64_t v);
+  deque::PushResult push_left(std::uint64_t v);
+  std::optional<std::uint64_t> pop_right();
+  std::optional<std::uint64_t> pop_left();
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  bool full() const noexcept { return items_.size() >= capacity_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  const std::deque<std::uint64_t>& items() const noexcept { return items_; }
+
+  // Canonical serialisation of the state (exact memoisation key for the
+  // linearizability checker).
+  std::string fingerprint() const;
+
+  bool operator==(const SpecDeque& other) const {
+    return items_ == other.items_ && capacity_ == other.capacity_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::uint64_t> items_;
+};
+
+}  // namespace dcd::verify

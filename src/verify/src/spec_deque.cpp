@@ -1,0 +1,42 @@
+#include "dcd/verify/spec_deque.hpp"
+
+namespace dcd::verify {
+
+deque::PushResult SpecDeque::push_right(std::uint64_t v) {
+  if (full()) return deque::PushResult::kFull;
+  items_.push_back(v);
+  return deque::PushResult::kOkay;
+}
+
+deque::PushResult SpecDeque::push_left(std::uint64_t v) {
+  if (full()) return deque::PushResult::kFull;
+  items_.push_front(v);
+  return deque::PushResult::kOkay;
+}
+
+std::optional<std::uint64_t> SpecDeque::pop_right() {
+  if (items_.empty()) return std::nullopt;
+  const std::uint64_t v = items_.back();
+  items_.pop_back();
+  return v;
+}
+
+std::optional<std::uint64_t> SpecDeque::pop_left() {
+  if (items_.empty()) return std::nullopt;
+  const std::uint64_t v = items_.front();
+  items_.pop_front();
+  return v;
+}
+
+std::string SpecDeque::fingerprint() const {
+  std::string s;
+  s.reserve(items_.size() * 8);
+  for (const std::uint64_t v : items_) {
+    for (int b = 0; b < 8; ++b) {
+      s.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+    }
+  }
+  return s;
+}
+
+}  // namespace dcd::verify

@@ -1,0 +1,90 @@
+// PackedEndsDeque (the §1.1 Greenwald-style comparator): full deque
+// semantics despite the single packed index word.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dcd/baseline/packed_ends_deque.hpp"
+#include "dcd/verify/driver.hpp"
+#include "dcd/verify/linearizability.hpp"
+
+namespace {
+
+using namespace dcd::baseline;
+using dcd::deque::PushResult;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+
+template <typename P>
+class PackedEndsTest : public ::testing::Test {
+ protected:
+  using Deque = PackedEndsDeque<std::uint64_t, P>;
+};
+
+using Policies = ::testing::Types<GlobalLockDcas, McasDcas>;
+TYPED_TEST_SUITE(PackedEndsTest, Policies);
+
+TYPED_TEST(PackedEndsTest, PaperExampleTrace) {
+  typename TestFixture::Deque d(8);
+  EXPECT_EQ(d.push_right(1), PushResult::kOkay);
+  EXPECT_EQ(d.push_left(2), PushResult::kOkay);
+  EXPECT_EQ(d.push_right(3), PushResult::kOkay);
+  EXPECT_EQ(d.pop_left(), 2u);
+  EXPECT_EQ(d.pop_left(), 1u);
+  EXPECT_EQ(d.pop_left(), 3u);
+  EXPECT_FALSE(d.pop_left().has_value());
+}
+
+TYPED_TEST(PackedEndsTest, BoundariesAndWrap) {
+  typename TestFixture::Deque d(3);
+  EXPECT_FALSE(d.pop_right().has_value());
+  ASSERT_EQ(d.push_right(1), PushResult::kOkay);
+  ASSERT_EQ(d.push_left(2), PushResult::kOkay);
+  ASSERT_EQ(d.push_right(3), PushResult::kOkay);
+  EXPECT_EQ(d.push_right(4), PushResult::kFull);
+  EXPECT_EQ(d.push_left(4), PushResult::kFull);
+  EXPECT_EQ(d.pop_left(), 2u);
+  EXPECT_EQ(d.pop_left(), 1u);
+  EXPECT_EQ(d.pop_left(), 3u);
+  EXPECT_FALSE(d.pop_left().has_value());
+  // Drift around the ring repeatedly.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_EQ(d.push_left(i), PushResult::kOkay);
+    ASSERT_EQ(d.pop_right(), i);
+  }
+}
+
+TYPED_TEST(PackedEndsTest, CapacityOne) {
+  typename TestFixture::Deque d(1);
+  EXPECT_EQ(d.push_right(5), PushResult::kOkay);
+  EXPECT_EQ(d.push_left(6), PushResult::kFull);
+  EXPECT_EQ(d.pop_left(), 5u);
+  EXPECT_FALSE(d.pop_right().has_value());
+}
+
+TYPED_TEST(PackedEndsTest, ConservationUnderConcurrency) {
+  typename TestFixture::Deque d(64);
+  dcd::verify::WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 3000;
+  cfg.seed = 13;
+  const std::int64_t net = dcd::verify::run_unrecorded(d, cfg);
+  ASSERT_GE(net, 0);
+  EXPECT_EQ(d.size_unsynchronized(), static_cast<std::size_t>(net));
+}
+
+TYPED_TEST(PackedEndsTest, LinearizableHistories) {
+  for (int round = 0; round < 30; ++round) {
+    typename TestFixture::Deque d(2);
+    dcd::verify::WorkloadConfig cfg;
+    cfg.threads = 3;
+    cfg.ops_per_thread = 9;
+    cfg.seed = 900 + round * 104729;
+    const auto h = dcd::verify::run_recorded(d, cfg);
+    const auto res = dcd::verify::check_linearizable(h, 2);
+    ASSERT_EQ(res.verdict, dcd::verify::Verdict::kLinearizable)
+        << "round " << round << ": " << res.message;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// General N-word CAS (the MCAS engine's full generality; DCAS == casn(2)).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <thread>
+#include <vector>
+
+#include "dcd/dcas/mcas.hpp"
+#include "dcd/util/barrier.hpp"
+#include "dcd/util/rng.hpp"
+
+namespace {
+
+using namespace dcd::dcas;
+
+constexpr std::uint64_t val(std::uint64_t x) { return encode_payload(x); }
+
+TEST(Casn, WidthOneBehavesLikeCas) {
+  Word a(val(1));
+  Word* addrs[] = {&a};
+  std::uint64_t olds[] = {val(1)};
+  std::uint64_t news[] = {val(2)};
+  EXPECT_TRUE(McasDcas::casn(addrs, olds, news, 1));
+  EXPECT_EQ(McasDcas::load(a), val(2));
+  EXPECT_FALSE(McasDcas::casn(addrs, olds, news, 1));  // stale expected
+}
+
+TEST(Casn, WidthThreeAllOrNothing) {
+  Word a(val(1)), b(val(2)), c(val(3));
+  Word* addrs[] = {&a, &b, &c};
+  {
+    std::uint64_t olds[] = {val(1), val(2), val(3)};
+    std::uint64_t news[] = {val(4), val(5), val(6)};
+    EXPECT_TRUE(McasDcas::casn(addrs, olds, news, 3));
+  }
+  EXPECT_EQ(McasDcas::load(a), val(4));
+  EXPECT_EQ(McasDcas::load(b), val(5));
+  EXPECT_EQ(McasDcas::load(c), val(6));
+  {
+    // Last word mismatches: nothing may change.
+    std::uint64_t olds[] = {val(4), val(5), val(9)};
+    std::uint64_t news[] = {val(7), val(7), val(7)};
+    EXPECT_FALSE(McasDcas::casn(addrs, olds, news, 3));
+  }
+  EXPECT_EQ(McasDcas::load(a), val(4));
+  EXPECT_EQ(McasDcas::load(b), val(5));
+  EXPECT_EQ(McasDcas::load(c), val(6));
+}
+
+TEST(Casn, WidthFourUnsortedAddressesAccepted) {
+  Word a(val(1)), b(val(2)), c(val(3)), d(val(4));
+  Word* addrs[] = {&d, &b, &a, &c};  // arbitrary order
+  std::uint64_t olds[] = {val(4), val(2), val(1), val(3)};
+  std::uint64_t news[] = {val(40), val(20), val(10), val(30)};
+  EXPECT_TRUE(McasDcas::casn(addrs, olds, news, 4));
+  EXPECT_EQ(McasDcas::load(a), val(10));
+  EXPECT_EQ(McasDcas::load(b), val(20));
+  EXPECT_EQ(McasDcas::load(c), val(30));
+  EXPECT_EQ(McasDcas::load(d), val(40));
+}
+
+TEST(Casn, ConcurrentTripletIncrementsConserve) {
+  // Three words kept equal by 3-word increments; any torn update would
+  // break the equality invariant or lose counts.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  Word w0(val(0)), w1(val(0)), w2(val(0));
+  dcd::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      barrier.arrive_and_wait();
+      Word* addrs[] = {&w0, &w1, &w2};
+      for (int i = 0; i < kIters; ++i) {
+        for (;;) {
+          const std::uint64_t v = McasDcas::load(w0);
+          const std::uint64_t x = decode_payload(v);
+          std::uint64_t olds[] = {v, v, v};
+          std::uint64_t news[] = {val(x + 1), val(x + 1), val(x + 1)};
+          if (McasDcas::casn(addrs, olds, news, 3)) break;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(McasDcas::load(w0), val(kThreads * kIters));
+  EXPECT_EQ(McasDcas::load(w1), val(kThreads * kIters));
+  EXPECT_EQ(McasDcas::load(w2), val(kThreads * kIters));
+}
+
+TEST(Casn, OverlappingWidthsSerialise) {
+  // casn(3) over {a,b,c} racing dcas over {b,c}: the shared words
+  // serialise them; totals must be exact.
+  constexpr int kIters = 1500;
+  Word a(val(0)), b(val(0)), c(val(0));
+  dcd::util::SpinBarrier barrier(2);
+  std::thread wide([&] {
+    barrier.arrive_and_wait();
+    Word* addrs[] = {&a, &b, &c};
+    for (int i = 0; i < kIters; ++i) {
+      for (;;) {
+        const std::uint64_t va = McasDcas::load(a);
+        const std::uint64_t vb = McasDcas::load(b);
+        const std::uint64_t vc = McasDcas::load(c);
+        std::uint64_t olds[] = {va, vb, vc};
+        std::uint64_t news[] = {val(decode_payload(va) + 1),
+                                val(decode_payload(vb) + 1),
+                                val(decode_payload(vc) + 1)};
+        if (McasDcas::casn(addrs, olds, news, 3)) break;
+      }
+    }
+  });
+  std::thread narrow([&] {
+    barrier.arrive_and_wait();
+    for (int i = 0; i < kIters; ++i) {
+      for (;;) {
+        const std::uint64_t vb = McasDcas::load(b);
+        const std::uint64_t vc = McasDcas::load(c);
+        if (McasDcas::dcas(b, c, vb, vc, val(decode_payload(vb) + 1),
+                           val(decode_payload(vc) + 1))) {
+          break;
+        }
+      }
+    }
+  });
+  wide.join();
+  narrow.join();
+  EXPECT_EQ(decode_payload(McasDcas::load(a)), (std::uint64_t)kIters);
+  EXPECT_EQ(decode_payload(McasDcas::load(b)), (std::uint64_t)(2 * kIters));
+  EXPECT_EQ(decode_payload(McasDcas::load(c)), (std::uint64_t)(2 * kIters));
+}
+
+}  // namespace

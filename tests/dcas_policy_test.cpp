@@ -1,0 +1,155 @@
+// Typed tests: every DCAS policy must implement Figure 1's semantics.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "dcd/dcas/policies.hpp"
+#include "dcd/dcas/telemetry.hpp"
+#include "dcd/util/barrier.hpp"
+#include "dcd/util/rng.hpp"
+
+namespace {
+
+using namespace dcd::dcas;
+
+template <typename P>
+class DcasPolicyTest : public ::testing::Test {};
+
+using Policies =
+    ::testing::Types<GlobalLockDcas, StripedLockDcas, McasDcas>;
+TYPED_TEST_SUITE(DcasPolicyTest, Policies);
+
+// Payload helper: clean user values (low 3 bits clear).
+constexpr std::uint64_t val(std::uint64_t x) { return encode_payload(x); }
+
+TYPED_TEST(DcasPolicyTest, SuccessWritesBothWords) {
+  Word a(val(1)), b(val(2));
+  EXPECT_TRUE(TypeParam::dcas(a, b, val(1), val(2), val(3), val(4)));
+  EXPECT_EQ(TypeParam::load(a), val(3));
+  EXPECT_EQ(TypeParam::load(b), val(4));
+}
+
+TYPED_TEST(DcasPolicyTest, FirstMismatchFailsAndWritesNothing) {
+  Word a(val(1)), b(val(2));
+  EXPECT_FALSE(TypeParam::dcas(a, b, val(9), val(2), val(3), val(4)));
+  EXPECT_EQ(TypeParam::load(a), val(1));
+  EXPECT_EQ(TypeParam::load(b), val(2));
+}
+
+TYPED_TEST(DcasPolicyTest, SecondMismatchFailsAndWritesNothing) {
+  Word a(val(1)), b(val(2));
+  EXPECT_FALSE(TypeParam::dcas(a, b, val(1), val(9), val(3), val(4)));
+  EXPECT_EQ(TypeParam::load(a), val(1));
+  EXPECT_EQ(TypeParam::load(b), val(2));
+}
+
+TYPED_TEST(DcasPolicyTest, IdentityDcasSucceeds) {
+  Word a(val(5)), b(val(6));
+  EXPECT_TRUE(TypeParam::dcas(a, b, val(5), val(6), val(5), val(6)));
+  EXPECT_EQ(TypeParam::load(a), val(5));
+  EXPECT_EQ(TypeParam::load(b), val(6));
+}
+
+TYPED_TEST(DcasPolicyTest, ViewFormReportsAtomicPairOnFailure) {
+  Word a(val(1)), b(val(2));
+  std::uint64_t oa = val(7), ob = val(8);
+  EXPECT_FALSE(TypeParam::dcas_view(a, b, oa, ob, val(3), val(4)));
+  EXPECT_EQ(oa, val(1));
+  EXPECT_EQ(ob, val(2));
+}
+
+TYPED_TEST(DcasPolicyTest, ViewFormSucceedsLikeBooleanForm) {
+  Word a(val(1)), b(val(2));
+  std::uint64_t oa = val(1), ob = val(2);
+  EXPECT_TRUE(TypeParam::dcas_view(a, b, oa, ob, val(3), val(4)));
+  EXPECT_EQ(oa, val(1));  // unchanged on success
+  EXPECT_EQ(ob, val(2));
+  EXPECT_EQ(TypeParam::load(a), val(3));
+  EXPECT_EQ(TypeParam::load(b), val(4));
+}
+
+TYPED_TEST(DcasPolicyTest, StoreInitThenLoadRoundTrips) {
+  Word w;
+  TypeParam::store_init(w, val(42));
+  EXPECT_EQ(TypeParam::load(w), val(42));
+}
+
+TYPED_TEST(DcasPolicyTest, TelemetryCountsCallsAndFailures) {
+  Word a(val(1)), b(val(2));
+  Telemetry::reset();
+  (void)TypeParam::dcas(a, b, val(1), val(2), val(1), val(2));
+  (void)TypeParam::dcas(a, b, val(9), val(9), val(0), val(0));
+  const Counters c = Telemetry::snapshot();
+  EXPECT_EQ(c.dcas_calls, 2u);
+  EXPECT_EQ(c.dcas_failures, 1u);
+}
+
+// Atomic-increment torture: 2 counters updated only together; their values
+// must stay equal and reach exactly threads*iters.
+TYPED_TEST(DcasPolicyTest, ConcurrentPairedIncrements) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  Word a(val(0)), b(val(0));
+  dcd::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIters; ++i) {
+        for (;;) {
+          const std::uint64_t va = TypeParam::load(a);
+          const std::uint64_t vb = TypeParam::load(b);
+          if (va == vb && TypeParam::dcas(a, b, va, vb,
+                                          val(decode_payload(va) + 1),
+                                          val(decode_payload(vb) + 1))) {
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(TypeParam::load(a), val(kThreads * kIters));
+  EXPECT_EQ(TypeParam::load(b), val(kThreads * kIters));
+}
+
+// Two overlapping word pairs (a,b) and (b,c): DCASes racing over the shared
+// middle word must never produce a state where the invariant a+c == 2*b is
+// violated (each op moves the pair consistently).
+TYPED_TEST(DcasPolicyTest, OverlappingPairsKeepInvariant) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1500;
+  // Even threads DCAS-increment the pair (a, b); odd threads the pair
+  // (b, c). The shared middle word b serialises them.
+  Word a(val(0)), b(val(0)), c(val(0));
+  dcd::util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIters; ++i) {
+        Word& first = (t % 2 == 0) ? a : b;
+        Word& second = (t % 2 == 0) ? b : c;
+        for (;;) {
+          const std::uint64_t v1 = TypeParam::load(first);
+          const std::uint64_t v2 = TypeParam::load(second);
+          if (TypeParam::dcas(first, second, v1, v2,
+                              val(decode_payload(v1) + 1),
+                              val(decode_payload(v2) + 1))) {
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // a was bumped only by even threads, c only by odd threads, b by all.
+  const std::uint64_t fa = decode_payload(TypeParam::load(a));
+  const std::uint64_t fb = decode_payload(TypeParam::load(b));
+  const std::uint64_t fc = decode_payload(TypeParam::load(c));
+  EXPECT_EQ(fa + fc, fb);
+  EXPECT_EQ(fb, static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// ArrayDeque sequential semantics, parameterized over every DCAS policy and
+// both §3 optimisation knobs. Covers Figures 5 and 7 (successful
+// pop/push) plus the §2.2 example trace.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dcd/deque/array_deque.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+
+template <typename P, ArrayOptions O>
+struct Cfg {
+  using Policy = P;
+  static constexpr ArrayOptions kOpt = O;
+};
+
+constexpr ArrayOptions kBoth{true, true};
+constexpr ArrayOptions kNeither{false, false};
+constexpr ArrayOptions kRecheckOnly{true, false};
+constexpr ArrayOptions kViewOnly{false, true};
+
+template <typename C>
+class ArrayDequeTest : public ::testing::Test {
+ protected:
+  template <typename T = std::uint64_t>
+  using Deque = ArrayDeque<T, typename C::Policy, C::kOpt>;
+};
+
+using Configs = ::testing::Types<
+    Cfg<GlobalLockDcas, kBoth>, Cfg<GlobalLockDcas, kNeither>,
+    Cfg<GlobalLockDcas, kRecheckOnly>, Cfg<GlobalLockDcas, kViewOnly>,
+    Cfg<StripedLockDcas, kBoth>, Cfg<StripedLockDcas, kNeither>,
+    Cfg<McasDcas, kBoth>, Cfg<McasDcas, kNeither>,
+    Cfg<McasDcas, kRecheckOnly>, Cfg<McasDcas, kViewOnly>>;
+TYPED_TEST_SUITE(ArrayDequeTest, Configs);
+
+TYPED_TEST(ArrayDequeTest, StartsEmpty) {
+  typename TestFixture::template Deque<> d(8);
+  EXPECT_EQ(d.capacity(), 8u);
+  EXPECT_FALSE(d.pop_right().has_value());
+  EXPECT_FALSE(d.pop_left().has_value());
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+}
+
+TYPED_TEST(ArrayDequeTest, PaperSection22ExampleTrace) {
+  // pushRight(1); pushLeft(2); pushRight(3); popLeft()->2; popLeft()->1.
+  typename TestFixture::template Deque<> d(8);
+  EXPECT_EQ(d.push_right(1), PushResult::kOkay);
+  EXPECT_EQ(d.push_left(2), PushResult::kOkay);
+  EXPECT_EQ(d.push_right(3), PushResult::kOkay);
+  EXPECT_EQ(d.pop_left(), 2u);
+  EXPECT_EQ(d.pop_left(), 1u);
+  EXPECT_EQ(d.pop_left(), 3u);
+  EXPECT_FALSE(d.pop_left().has_value());
+}
+
+TYPED_TEST(ArrayDequeTest, LifoFromRight) {
+  typename TestFixture::template Deque<> d(16);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(d.push_right(i), PushResult::kOkay);
+  }
+  for (std::uint64_t i = 10; i-- > 0;) {
+    ASSERT_EQ(d.pop_right(), i);
+  }
+  EXPECT_FALSE(d.pop_right().has_value());
+}
+
+TYPED_TEST(ArrayDequeTest, FifoAcrossEnds) {
+  typename TestFixture::template Deque<> d(16);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(d.push_right(i), PushResult::kOkay);
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(d.pop_left(), i);
+  }
+}
+
+TYPED_TEST(ArrayDequeTest, MirrorLifoFromLeft) {
+  typename TestFixture::template Deque<> d(16);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(d.push_left(i), PushResult::kOkay);
+  }
+  for (std::uint64_t i = 10; i-- > 0;) {
+    ASSERT_EQ(d.pop_left(), i);
+  }
+}
+
+TYPED_TEST(ArrayDequeTest, MirrorFifoLeftToRight) {
+  typename TestFixture::template Deque<> d(16);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(d.push_left(i), PushResult::kOkay);
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(d.pop_right(), i);
+  }
+}
+
+TYPED_TEST(ArrayDequeTest, InterleavedEndsKeepOrder) {
+  typename TestFixture::template Deque<> d(32);
+  // Build <5 3 1 0 2 4> then check both ends.
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_EQ(d.push_right(i), PushResult::kOkay);
+    } else {
+      ASSERT_EQ(d.push_left(i), PushResult::kOkay);
+    }
+  }
+  EXPECT_EQ(d.pop_left(), 5u);
+  EXPECT_EQ(d.pop_right(), 4u);
+  EXPECT_EQ(d.pop_left(), 3u);
+  EXPECT_EQ(d.pop_right(), 2u);
+  EXPECT_EQ(d.pop_left(), 1u);
+  EXPECT_EQ(d.pop_right(), 0u);
+  EXPECT_FALSE(d.pop_right().has_value());
+}
+
+TYPED_TEST(ArrayDequeTest, WrapsAroundManyTimes) {
+  typename TestFixture::template Deque<> d(4);
+  for (std::uint64_t round = 0; round < 100; ++round) {
+    ASSERT_EQ(d.push_right(round), PushResult::kOkay);
+    ASSERT_EQ(d.pop_left(), round);
+  }
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+}
+
+TYPED_TEST(ArrayDequeTest, LeftwardDriftWrapsToo) {
+  typename TestFixture::template Deque<> d(4);
+  for (std::uint64_t round = 0; round < 100; ++round) {
+    ASSERT_EQ(d.push_left(round), PushResult::kOkay);
+    ASSERT_EQ(d.pop_right(), round);
+  }
+}
+
+TYPED_TEST(ArrayDequeTest, StoresPointers) {
+  typename TestFixture::template Deque<int*> d(4);
+  alignas(8) int a = 1, b = 2;
+  ASSERT_EQ(d.push_right(&a), PushResult::kOkay);
+  ASSERT_EQ(d.push_left(&b), PushResult::kOkay);
+  EXPECT_EQ(d.pop_right(), &a);
+  EXPECT_EQ(d.pop_right(), &b);
+}
+
+TYPED_TEST(ArrayDequeTest, StoresSignedValues) {
+  typename TestFixture::template Deque<std::int64_t> d(4);
+  ASSERT_EQ(d.push_right(-12345), PushResult::kOkay);
+  ASSERT_EQ(d.push_left(67890), PushResult::kOkay);
+  EXPECT_EQ(d.pop_left(), 67890);
+  EXPECT_EQ(d.pop_left(), -12345);
+}
+
+TYPED_TEST(ArrayDequeTest, CapacityOneDeque) {
+  typename TestFixture::template Deque<> d(1);
+  EXPECT_EQ(d.push_right(7), PushResult::kOkay);
+  EXPECT_EQ(d.push_right(8), PushResult::kFull);
+  EXPECT_EQ(d.push_left(9), PushResult::kFull);
+  EXPECT_EQ(d.pop_left(), 7u);
+  EXPECT_EQ(d.push_left(10), PushResult::kOkay);
+  EXPECT_EQ(d.pop_right(), 10u);
+  EXPECT_FALSE(d.pop_right().has_value());
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// ArrayDeque boundary behaviour: the empty/full cases of Figures 4, 6, 8.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dcd/deque/array_deque.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+
+template <typename P>
+class ArrayBoundaryTest : public ::testing::Test {
+ protected:
+  using Deque = ArrayDeque<std::uint64_t, P>;
+  // Variant without the optional fragments: only the weak DCAS form.
+  using WeakDeque =
+      ArrayDeque<std::uint64_t, P, ArrayOptions{false, false}>;
+};
+
+using Policies = ::testing::Types<GlobalLockDcas, StripedLockDcas, McasDcas>;
+TYPED_TEST_SUITE(ArrayBoundaryTest, Policies);
+
+TYPED_TEST(ArrayBoundaryTest, FullFromBothEnds) {
+  typename TestFixture::Deque d(6);
+  // Figure 8: fill from both sides until L and R cross.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(d.push_right(100 + i), PushResult::kOkay);
+    ASSERT_EQ(d.push_left(200 + i), PushResult::kOkay);
+  }
+  EXPECT_EQ(d.size_unsynchronized(), 6u);
+  EXPECT_EQ(d.push_right(999), PushResult::kFull);
+  EXPECT_EQ(d.push_left(999), PushResult::kFull);
+  // Deque is <202 201 200 100 101 102>.
+  EXPECT_EQ(d.pop_left(), 202u);
+  EXPECT_EQ(d.pop_right(), 102u);
+  // After popping, pushes succeed again.
+  EXPECT_EQ(d.push_right(300), PushResult::kOkay);
+  EXPECT_EQ(d.push_left(301), PushResult::kOkay);
+  EXPECT_EQ(d.push_right(999), PushResult::kFull);
+}
+
+TYPED_TEST(ArrayBoundaryTest, FillUntilCrossAndDrain) {
+  // Figure 8's wrapped-full state: L ends up "to the right" of R until the
+  // deque fills, then they cross again. We verify via index accessors.
+  typename TestFixture::Deque d(8);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(d.push_left(i), PushResult::kOkay);
+  }
+  // Full: R == L+1 (mod n) and every cell non-null.
+  const std::size_t l = d.left_index_unsynchronized();
+  const std::size_t r = d.right_index_unsynchronized();
+  EXPECT_EQ(r, (l + 1) % d.capacity());
+  EXPECT_EQ(d.size_unsynchronized(), 8u);
+  // Drain from the right: values come out 0,1,...  (they were pushed left).
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(d.pop_right(), i);
+  }
+  // Empty: R == L+1 (mod n) again — contents disambiguate (Figure 4).
+  const std::size_t l2 = d.left_index_unsynchronized();
+  const std::size_t r2 = d.right_index_unsynchronized();
+  EXPECT_EQ(r2, (l2 + 1) % d.capacity());
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+}
+
+TYPED_TEST(ArrayBoundaryTest, EmptyAfterDrainFromEitherEnd) {
+  typename TestFixture::Deque d(4);
+  ASSERT_EQ(d.push_right(1), PushResult::kOkay);
+  ASSERT_EQ(d.pop_left(), 1u);
+  EXPECT_FALSE(d.pop_left().has_value());
+  EXPECT_FALSE(d.pop_right().has_value());
+  ASSERT_EQ(d.push_left(2), PushResult::kOkay);
+  ASSERT_EQ(d.pop_right(), 2u);
+  EXPECT_FALSE(d.pop_right().has_value());
+  EXPECT_FALSE(d.pop_left().has_value());
+}
+
+TYPED_TEST(ArrayBoundaryTest, FullReturnLeavesStateIntact) {
+  typename TestFixture::Deque d(3);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(d.push_right(i), PushResult::kOkay);
+  }
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(d.push_right(99), PushResult::kFull);
+    EXPECT_EQ(d.push_left(99), PushResult::kFull);
+  }
+  EXPECT_EQ(d.pop_left(), 0u);
+  EXPECT_EQ(d.pop_left(), 1u);
+  EXPECT_EQ(d.pop_left(), 2u);
+}
+
+TYPED_TEST(ArrayBoundaryTest, EmptyReturnLeavesStateIntact) {
+  typename TestFixture::Deque d(3);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_FALSE(d.pop_left().has_value());
+    EXPECT_FALSE(d.pop_right().has_value());
+  }
+  ASSERT_EQ(d.push_right(5), PushResult::kOkay);
+  EXPECT_EQ(d.pop_right(), 5u);
+}
+
+TYPED_TEST(ArrayBoundaryTest, WeakFormHandlesBoundariesToo) {
+  // Without lines 17-18 (and line 7) the algorithm must still detect
+  // empty/full — just with extra loop iterations (§3).
+  typename TestFixture::WeakDeque d(3);
+  EXPECT_FALSE(d.pop_right().has_value());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(d.push_left(i), PushResult::kOkay);
+  }
+  EXPECT_EQ(d.push_left(9), PushResult::kFull);
+  EXPECT_EQ(d.push_right(9), PushResult::kFull);
+  EXPECT_EQ(d.pop_right(), 0u);
+  EXPECT_EQ(d.pop_right(), 1u);
+  EXPECT_EQ(d.pop_right(), 2u);
+  EXPECT_FALSE(d.pop_right().has_value());
+}
+
+TYPED_TEST(ArrayBoundaryTest, AlternatingFullEmptyCycles) {
+  typename TestFixture::Deque d(2);
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_EQ(d.push_right(1), PushResult::kOkay);
+    ASSERT_EQ(d.push_left(2), PushResult::kOkay);
+    ASSERT_EQ(d.push_right(3), PushResult::kFull);
+    ASSERT_EQ(d.pop_right(), 1u);
+    ASSERT_EQ(d.pop_right(), 2u);
+    ASSERT_FALSE(d.pop_right().has_value());
+  }
+}
+
+}  // namespace

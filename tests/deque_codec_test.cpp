@@ -1,0 +1,71 @@
+// ValueCodec round-trips and reserved-bit discipline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dcd/deque/value_codec.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+namespace dw = dcd::dcas;
+
+TEST(Codec, UnsignedRoundTrip) {
+  using C = ValueCodec<std::uint64_t>;
+  for (std::uint64_t v : {0ull, 1ull, 42ull, (1ull << 61) - 1}) {
+    const std::uint64_t w = C::encode(v);
+    EXPECT_EQ(C::decode(w), v);
+    EXPECT_EQ(w & 0x7u, 0u) << "low bits must stay clear for the engine";
+  }
+}
+
+TEST(Codec, SmallUnsignedTypes) {
+  EXPECT_EQ(ValueCodec<std::uint8_t>::decode(
+                ValueCodec<std::uint8_t>::encode(255)),
+            255);
+  EXPECT_EQ(ValueCodec<std::uint16_t>::decode(
+                ValueCodec<std::uint16_t>::encode(65535)),
+            65535);
+  EXPECT_EQ(ValueCodec<std::uint32_t>::decode(
+                ValueCodec<std::uint32_t>::encode(0xdeadbeefu)),
+            0xdeadbeefu);
+}
+
+TEST(Codec, SignedZigZagRoundTrip) {
+  using C = ValueCodec<std::int64_t>;
+  for (std::int64_t v : {0ll, 1ll, -1ll, 123456789ll, -987654321ll,
+                         (1ll << 59), -(1ll << 59)}) {
+    const std::uint64_t w = C::encode(v);
+    EXPECT_EQ(C::decode(w), v);
+    EXPECT_EQ(w & 0x7u, 0u);
+  }
+}
+
+TEST(Codec, SignedInt32RoundTrip) {
+  using C = ValueCodec<std::int32_t>;
+  for (std::int32_t v : {0, -1, 1, INT32_MIN, INT32_MAX}) {
+    EXPECT_EQ(C::decode(C::encode(v)), v);
+  }
+}
+
+TEST(Codec, PointerRoundTrip) {
+  using C = ValueCodec<double*>;
+  alignas(8) double d = 3.14;
+  const std::uint64_t w = C::encode(&d);
+  EXPECT_EQ(C::decode(w), &d);
+  EXPECT_EQ(*C::decode(w), 3.14);
+  EXPECT_EQ(C::decode(C::encode(static_cast<double*>(nullptr))), nullptr);
+}
+
+TEST(Codec, EncodedValuesNeverCollideWithSpecials) {
+  for (std::uint64_t v = 0; v < 1024; ++v) {
+    const std::uint64_t w = ValueCodec<std::uint64_t>::encode(v);
+    EXPECT_NE(w, dw::kNull);
+    EXPECT_NE(w, dw::kSentL);
+    EXPECT_NE(w, dw::kSentR);
+    EXPECT_FALSE(dw::is_special(w));
+    EXPECT_FALSE(dw::is_descriptor(w));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Differential testing: long random sequential op sequences applied in
+// lock-step to an implementation and to SpecDeque (§2.2) must agree on
+// every result, and the implementation's representation invariant must
+// hold after every operation. Parameterised over seeds (property-style
+// sweep) and implementations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dcd/baseline/mutex_deque.hpp"
+#include "dcd/baseline/packed_ends_deque.hpp"
+#include "dcd/baseline/spin_deque.hpp"
+#include "dcd/baseline/two_lock_deque.hpp"
+#include "dcd/deque/array_deque.hpp"
+#include "dcd/deque/list_deque.hpp"
+#include "dcd/deque/list_deque_dummy.hpp"
+#include "dcd/util/rng.hpp"
+#include "dcd/verify/spec_deque.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+using dcd::verify::SpecDeque;
+
+// Drives `impl` and the spec together. `check_inv` validates the
+// implementation's RepInv after each op (empty hook where unavailable).
+template <typename D, typename CheckInv>
+void run_differential(D& impl, SpecDeque& spec, std::uint64_t seed,
+                      std::size_t ops, CheckInv check_inv) {
+  dcd::util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t v = 1 + rng.below(1u << 20);
+    switch (rng.below(4)) {
+      case 0:
+        ASSERT_EQ(impl.push_right(v), spec.push_right(v)) << "op " << i;
+        break;
+      case 1:
+        ASSERT_EQ(impl.push_left(v), spec.push_left(v)) << "op " << i;
+        break;
+      case 2:
+        ASSERT_EQ(impl.pop_right(), spec.pop_right()) << "op " << i;
+        break;
+      default:
+        ASSERT_EQ(impl.pop_left(), spec.pop_left()) << "op " << i;
+        break;
+    }
+    if (i % 7 == 0) {
+      ASSERT_TRUE(check_inv()) << "RepInv broken after op " << i;
+    }
+  }
+}
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST_P(DifferentialTest, ArrayDequeAllPolicies) {
+  for (const std::size_t cap : {1u, 2u, 5u, 32u}) {
+    {
+      ArrayDeque<std::uint64_t, GlobalLockDcas> d(cap);
+      SpecDeque spec(cap);
+      run_differential(d, spec, GetParam() * 31 + cap, 3000, [&] {
+        return d.check_rep_inv_unsynchronized();
+      });
+    }
+    {
+      ArrayDeque<std::uint64_t, StripedLockDcas> d(cap);
+      SpecDeque spec(cap);
+      run_differential(d, spec, GetParam() * 37 + cap, 2000, [&] {
+        return d.check_rep_inv_unsynchronized();
+      });
+    }
+    {
+      ArrayDeque<std::uint64_t, McasDcas> d(cap);
+      SpecDeque spec(cap);
+      run_differential(d, spec, GetParam() * 41 + cap, 1000, [&] {
+        return d.check_rep_inv_unsynchronized();
+      });
+    }
+  }
+}
+
+TEST_P(DifferentialTest, ArrayDequeOptionMatrix) {
+  constexpr ArrayOptions kNeither{false, false};
+  constexpr ArrayOptions kRecheckOnly{true, false};
+  constexpr ArrayOptions kViewOnly{false, true};
+  {
+    ArrayDeque<std::uint64_t, GlobalLockDcas, kNeither> d(4);
+    SpecDeque spec(4);
+    run_differential(d, spec, GetParam() * 43, 2500, [&] {
+      return d.check_rep_inv_unsynchronized();
+    });
+  }
+  {
+    ArrayDeque<std::uint64_t, GlobalLockDcas, kRecheckOnly> d(4);
+    SpecDeque spec(4);
+    run_differential(d, spec, GetParam() * 47, 2500, [&] {
+      return d.check_rep_inv_unsynchronized();
+    });
+  }
+  {
+    ArrayDeque<std::uint64_t, McasDcas, kViewOnly> d(4);
+    SpecDeque spec(4);
+    run_differential(d, spec, GetParam() * 53, 1000, [&] {
+      return d.check_rep_inv_unsynchronized();
+    });
+  }
+}
+
+TEST_P(DifferentialTest, ListDequeUnbounded) {
+  {
+    ListDeque<std::uint64_t, GlobalLockDcas> d(1 << 14);
+    SpecDeque spec(SpecDeque::kUnbounded);
+    run_differential(d, spec, GetParam() * 59, 3000, [&] {
+      return d.check_rep_inv_unsynchronized();
+    });
+  }
+  {
+    ListDeque<std::uint64_t, McasDcas> d(1 << 14);
+    SpecDeque spec(SpecDeque::kUnbounded);
+    run_differential(d, spec, GetParam() * 61, 1500, [&] {
+      return d.check_rep_inv_unsynchronized();
+    });
+  }
+}
+
+TEST_P(DifferentialTest, ListDequeDummyVariant) {
+  ListDequeDummy<std::uint64_t, GlobalLockDcas> d(1 << 14);
+  SpecDeque spec(SpecDeque::kUnbounded);
+  run_differential(d, spec, GetParam() * 67, 3000,
+                   [&] { return d.check_rep_inv_unsynchronized(); });
+}
+
+TEST_P(DifferentialTest, PackedEndsDeque) {
+  dcd::baseline::PackedEndsDeque<std::uint64_t, GlobalLockDcas> d(5);
+  SpecDeque spec(5);
+  run_differential(d, spec, GetParam() * 71, 3000, [&] { return true; });
+}
+
+TEST_P(DifferentialTest, Baselines) {
+  {
+    dcd::baseline::MutexDeque<std::uint64_t> d(6);
+    SpecDeque spec(6);
+    run_differential(d, spec, GetParam() * 73, 3000, [&] { return true; });
+  }
+  {
+    dcd::baseline::SpinDeque<std::uint64_t> d(6);
+    SpecDeque spec(6);
+    run_differential(d, spec, GetParam() * 79, 3000, [&] { return true; });
+  }
+  {
+    dcd::baseline::TwoLockDeque<std::uint64_t> d(6);
+    SpecDeque spec(6);
+    run_differential(d, spec, GetParam() * 83, 3000, [&] { return true; });
+  }
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// ListDeque sequential semantics across DCAS policies and reclaimers.
+// Covers Figures 12 and 14 (logical delete, push splice).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dcd/deque/list_deque.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+using dcd::reclaim::EbrReclaim;
+using dcd::reclaim::LeakyReclaim;
+
+template <typename P, typename R>
+struct Cfg {
+  using Policy = P;
+  using Reclaim = R;
+};
+
+template <typename C>
+class ListDequeTest : public ::testing::Test {
+ protected:
+  template <typename T = std::uint64_t>
+  using Deque = ListDeque<T, typename C::Policy, typename C::Reclaim>;
+};
+
+using Configs = ::testing::Types<
+    Cfg<GlobalLockDcas, EbrReclaim>, Cfg<StripedLockDcas, EbrReclaim>,
+    Cfg<McasDcas, EbrReclaim>, Cfg<GlobalLockDcas, LeakyReclaim>,
+    Cfg<McasDcas, LeakyReclaim>>;
+TYPED_TEST_SUITE(ListDequeTest, Configs);
+
+TYPED_TEST(ListDequeTest, StartsEmpty) {
+  typename TestFixture::template Deque<> d;
+  EXPECT_FALSE(d.pop_right().has_value());
+  EXPECT_FALSE(d.pop_left().has_value());
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+  EXPECT_EQ(d.chain_length_unsynchronized(), 0u);
+}
+
+TYPED_TEST(ListDequeTest, PaperSection22ExampleTrace) {
+  typename TestFixture::template Deque<> d;
+  EXPECT_EQ(d.push_right(1), PushResult::kOkay);
+  EXPECT_EQ(d.push_left(2), PushResult::kOkay);
+  EXPECT_EQ(d.push_right(3), PushResult::kOkay);
+  EXPECT_EQ(d.pop_left(), 2u);
+  EXPECT_EQ(d.pop_left(), 1u);
+  EXPECT_EQ(d.pop_left(), 3u);
+  EXPECT_FALSE(d.pop_left().has_value());
+}
+
+TYPED_TEST(ListDequeTest, LifoEachEnd) {
+  typename TestFixture::template Deque<> d;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_EQ(d.push_right(i), PushResult::kOkay);
+  }
+  for (std::uint64_t i = 20; i-- > 0;) {
+    ASSERT_EQ(d.pop_right(), i);
+  }
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_EQ(d.push_left(i), PushResult::kOkay);
+  }
+  for (std::uint64_t i = 20; i-- > 0;) {
+    ASSERT_EQ(d.pop_left(), i);
+  }
+}
+
+TYPED_TEST(ListDequeTest, FifoAcrossEnds) {
+  typename TestFixture::template Deque<> d;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_EQ(d.push_right(i), PushResult::kOkay);
+  }
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_EQ(d.pop_left(), i);
+  }
+  EXPECT_FALSE(d.pop_left().has_value());
+}
+
+TYPED_TEST(ListDequeTest, InterleavedEndsKeepOrder) {
+  typename TestFixture::template Deque<> d;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_EQ(d.push_right(i), PushResult::kOkay);
+    } else {
+      ASSERT_EQ(d.push_left(i), PushResult::kOkay);
+    }
+  }
+  // Deque is <5 3 1 0 2 4>.
+  EXPECT_EQ(d.pop_left(), 5u);
+  EXPECT_EQ(d.pop_right(), 4u);
+  EXPECT_EQ(d.pop_left(), 3u);
+  EXPECT_EQ(d.pop_right(), 2u);
+  EXPECT_EQ(d.pop_left(), 1u);
+  EXPECT_EQ(d.pop_right(), 0u);
+}
+
+TYPED_TEST(ListDequeTest, AllocatorExhaustionReturnsFull) {
+  // Footnote 3: push returns "full" when the allocator fails.
+  typename TestFixture::template Deque<> d(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(d.push_right(i), PushResult::kOkay);
+  }
+  EXPECT_EQ(d.push_right(99), PushResult::kFull);
+  EXPECT_EQ(d.push_left(99), PushResult::kFull);
+  EXPECT_EQ(d.pop_left(), 0u);
+}
+
+TYPED_TEST(ListDequeTest, StoresPointersAndSigned) {
+  typename TestFixture::template Deque<int*> dp;
+  alignas(8) int x = 5;
+  ASSERT_EQ(dp.push_left(&x), PushResult::kOkay);
+  EXPECT_EQ(dp.pop_right(), &x);
+
+  typename TestFixture::template Deque<std::int64_t> ds;
+  ASSERT_EQ(ds.push_right(-42), PushResult::kOkay);
+  EXPECT_EQ(ds.pop_left(), -42);
+}
+
+TYPED_TEST(ListDequeTest, ManyCycles) {
+  typename TestFixture::template Deque<> d(1 << 12);
+  for (std::uint64_t round = 0; round < 2000; ++round) {
+    ASSERT_EQ(d.push_right(round), PushResult::kOkay);
+    ASSERT_EQ(d.pop_left(), round);
+  }
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// ListDequeDummy — the footnote-4 variant — must behave exactly like the
+// bit-encoded ListDeque: same sequential semantics, same Figure 9/16 state
+// structure (with dummies standing in for set bits), and linearizable
+// histories.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dcd/deque/list_deque_dummy.hpp"
+#include "dcd/verify/driver.hpp"
+#include "dcd/verify/linearizability.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+
+template <typename P>
+class ListDummyTest : public ::testing::Test {
+ protected:
+  using Deque = ListDequeDummy<std::uint64_t, P>;
+};
+
+using Policies = ::testing::Types<GlobalLockDcas, StripedLockDcas, McasDcas>;
+TYPED_TEST_SUITE(ListDummyTest, Policies);
+
+TYPED_TEST(ListDummyTest, PaperExampleTrace) {
+  typename TestFixture::Deque d;
+  EXPECT_EQ(d.push_right(1), PushResult::kOkay);
+  EXPECT_EQ(d.push_left(2), PushResult::kOkay);
+  EXPECT_EQ(d.push_right(3), PushResult::kOkay);
+  EXPECT_EQ(d.pop_left(), 2u);
+  EXPECT_EQ(d.pop_left(), 1u);
+  EXPECT_EQ(d.pop_left(), 3u);
+  EXPECT_FALSE(d.pop_left().has_value());
+}
+
+TYPED_TEST(ListDummyTest, LifoAndFifo) {
+  typename TestFixture::Deque d;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_EQ(d.push_right(i), PushResult::kOkay);
+  }
+  for (std::uint64_t i = 20; i-- > 0;) {
+    ASSERT_EQ(d.pop_right(), i);
+  }
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_EQ(d.push_right(i), PushResult::kOkay);
+  }
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_EQ(d.pop_left(), i);
+  }
+}
+
+TYPED_TEST(ListDummyTest, DummyStandsInForRightDeletedBit) {
+  // Figure 10: "Empty Deque with one deleted cell marked by a right dummy
+  // node".
+  typename TestFixture::Deque d;
+  ASSERT_EQ(d.push_right(7), PushResult::kOkay);
+  ASSERT_EQ(d.pop_right(), 7u);
+  EXPECT_TRUE(d.right_dummy_unsynchronized());
+  EXPECT_FALSE(d.left_dummy_unsynchronized());
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+  EXPECT_FALSE(d.pop_left().has_value());
+  EXPECT_FALSE(d.pop_right().has_value());
+}
+
+TYPED_TEST(ListDummyTest, DummyStandsInForLeftDeletedBit) {
+  typename TestFixture::Deque d;
+  ASSERT_EQ(d.push_left(7), PushResult::kOkay);
+  ASSERT_EQ(d.pop_left(), 7u);
+  EXPECT_TRUE(d.left_dummy_unsynchronized());
+  EXPECT_FALSE(d.right_dummy_unsynchronized());
+  EXPECT_FALSE(d.pop_right().has_value());
+}
+
+TYPED_TEST(ListDummyTest, TwoDummiesResolveFromEitherSide) {
+  for (const bool from_right : {true, false}) {
+    typename TestFixture::Deque d;
+    ASSERT_EQ(d.push_right(1), PushResult::kOkay);
+    ASSERT_EQ(d.push_right(2), PushResult::kOkay);
+    ASSERT_EQ(d.pop_left(), 1u);
+    ASSERT_EQ(d.pop_right(), 2u);
+    ASSERT_TRUE(d.left_dummy_unsynchronized());
+    ASSERT_TRUE(d.right_dummy_unsynchronized());
+    // The push on a side with a pending dummy performs the physical
+    // delete; the Figure 16 pair-DCAS clears *both* sides at once.
+    if (from_right) {
+      ASSERT_EQ(d.push_right(3), PushResult::kOkay);
+    } else {
+      ASSERT_EQ(d.push_left(3), PushResult::kOkay);
+    }
+    EXPECT_FALSE(d.left_dummy_unsynchronized());
+    EXPECT_FALSE(d.right_dummy_unsynchronized());
+    // A subsequent pop drains the element (and plants its own dummy).
+    EXPECT_EQ(from_right ? d.pop_left() : d.pop_right(), 3u);
+    EXPECT_EQ(d.size_unsynchronized(), 0u);
+  }
+}
+
+TYPED_TEST(ListDummyTest, PushClearsPendingDummy) {
+  typename TestFixture::Deque d;
+  ASSERT_EQ(d.push_right(7), PushResult::kOkay);
+  ASSERT_EQ(d.pop_right(), 7u);
+  ASSERT_TRUE(d.right_dummy_unsynchronized());
+  ASSERT_EQ(d.push_right(8), PushResult::kOkay);
+  EXPECT_FALSE(d.right_dummy_unsynchronized());
+  EXPECT_EQ(d.pop_right(), 8u);
+}
+
+TYPED_TEST(ListDummyTest, NodesAndDummiesRecycle) {
+  // Each push+pop cycle consumes a node and a dummy; both must return to
+  // the pool for a bounded pool to sustain this.
+  typename TestFixture::Deque d(2048);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    ASSERT_EQ(d.push_right(i), PushResult::kOkay) << "leak at " << i;
+    ASSERT_EQ(d.pop_left(), i);
+    if (i % 128 == 0) d.reclaimer().collect();
+  }
+}
+
+TYPED_TEST(ListDummyTest, ConservationUnderConcurrency) {
+  typename TestFixture::Deque d(1 << 15);
+  dcd::verify::WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 3000;
+  cfg.seed = 77;
+  const std::int64_t net = dcd::verify::run_unrecorded(d, cfg);
+  ASSERT_GE(net, 0);
+  EXPECT_EQ(d.size_unsynchronized(), static_cast<std::size_t>(net));
+}
+
+TYPED_TEST(ListDummyTest, LinearizableHistories) {
+  for (int round = 0; round < 25; ++round) {
+    typename TestFixture::Deque d(1 << 12);
+    dcd::verify::WorkloadConfig cfg;
+    cfg.threads = 3;
+    cfg.ops_per_thread = 9;
+    cfg.seed = 500 + round * 7919;
+    cfg.pop_right = 3;
+    cfg.pop_left = 3;
+    const auto h = dcd::verify::run_recorded(d, cfg);
+    const auto res = dcd::verify::check_linearizable(
+        h, dcd::verify::SpecDeque::kUnbounded);
+    ASSERT_EQ(res.verdict, dcd::verify::Verdict::kLinearizable)
+        << "round " << round << ": " << res.message;
+  }
+}
+
+}  // namespace

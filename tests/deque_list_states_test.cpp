@@ -1,0 +1,169 @@
+// The empty-deque configurations of Figure 9 and the physical-delete
+// transitions of Figures 15/16, driven deterministically through the public
+// API plus quiescent introspection.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "dcd/deque/list_deque.hpp"
+#include "dcd/util/barrier.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+
+template <typename P>
+class ListStatesTest : public ::testing::Test {
+ protected:
+  using Deque = ListDeque<std::uint64_t, P>;
+};
+
+using Policies = ::testing::Types<GlobalLockDcas, StripedLockDcas, McasDcas>;
+TYPED_TEST_SUITE(ListStatesTest, Policies);
+
+TYPED_TEST(ListStatesTest, EmptyDequePlain) {
+  // Figure 9, top: SR->L == SL, SL->R == SR, no deleted bits.
+  typename TestFixture::Deque d;
+  EXPECT_FALSE(d.left_deleted_bit_unsynchronized());
+  EXPECT_FALSE(d.right_deleted_bit_unsynchronized());
+  EXPECT_EQ(d.chain_length_unsynchronized(), 0u);
+}
+
+TYPED_TEST(ListStatesTest, EmptyWithRightDeletedCell) {
+  // Figure 9, second diagram: popRight leaves a logically-deleted node
+  // pending physical deletion; the deque is abstractly empty.
+  typename TestFixture::Deque d;
+  ASSERT_EQ(d.push_right(7), PushResult::kOkay);
+  ASSERT_EQ(d.pop_right(), 7u);
+  EXPECT_TRUE(d.right_deleted_bit_unsynchronized());
+  EXPECT_FALSE(d.left_deleted_bit_unsynchronized());
+  EXPECT_EQ(d.chain_length_unsynchronized(), 1u);  // the null node
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+  // pops report empty; the popLeft sees the null node via the value word.
+  EXPECT_FALSE(d.pop_left().has_value());
+  EXPECT_FALSE(d.pop_right().has_value());
+}
+
+TYPED_TEST(ListStatesTest, EmptyWithLeftDeletedCell) {
+  // Figure 9, third diagram (mirror).
+  typename TestFixture::Deque d;
+  ASSERT_EQ(d.push_left(7), PushResult::kOkay);
+  ASSERT_EQ(d.pop_left(), 7u);
+  EXPECT_TRUE(d.left_deleted_bit_unsynchronized());
+  EXPECT_FALSE(d.right_deleted_bit_unsynchronized());
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+  EXPECT_FALSE(d.pop_right().has_value());
+  EXPECT_FALSE(d.pop_left().has_value());
+}
+
+TYPED_TEST(ListStatesTest, EmptyWithTwoDeletedCells) {
+  // Figure 9, bottom: two nodes, one deleted from each side.
+  typename TestFixture::Deque d;
+  ASSERT_EQ(d.push_right(1), PushResult::kOkay);
+  ASSERT_EQ(d.push_right(2), PushResult::kOkay);
+  ASSERT_EQ(d.pop_left(), 1u);
+  ASSERT_EQ(d.pop_right(), 2u);
+  EXPECT_TRUE(d.left_deleted_bit_unsynchronized());
+  EXPECT_TRUE(d.right_deleted_bit_unsynchronized());
+  EXPECT_EQ(d.chain_length_unsynchronized(), 2u);
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+}
+
+TYPED_TEST(ListStatesTest, PushClearsPendingRightDeletion) {
+  // Figure 15: the next right-side operation performs the physical delete.
+  typename TestFixture::Deque d;
+  ASSERT_EQ(d.push_right(7), PushResult::kOkay);
+  ASSERT_EQ(d.pop_right(), 7u);
+  ASSERT_TRUE(d.right_deleted_bit_unsynchronized());
+  ASSERT_EQ(d.push_right(8), PushResult::kOkay);
+  EXPECT_FALSE(d.right_deleted_bit_unsynchronized());
+  EXPECT_EQ(d.chain_length_unsynchronized(), 1u);  // just the new node
+  EXPECT_EQ(d.pop_right(), 8u);
+}
+
+TYPED_TEST(ListStatesTest, PopTriggersPhysicalDeleteOnitsSide) {
+  typename TestFixture::Deque d;
+  ASSERT_EQ(d.push_right(1), PushResult::kOkay);
+  ASSERT_EQ(d.push_right(2), PushResult::kOkay);
+  ASSERT_EQ(d.pop_right(), 2u);
+  ASSERT_TRUE(d.right_deleted_bit_unsynchronized());
+  // The next popRight deletes the null node, then pops 1.
+  ASSERT_EQ(d.pop_right(), 1u);
+  EXPECT_TRUE(d.right_deleted_bit_unsynchronized());  // 1's node now pending
+  EXPECT_FALSE(d.pop_right().has_value());
+}
+
+TYPED_TEST(ListStatesTest, TwoDeletedCellsResolveFromRight) {
+  // Figure 16, "right wins" outcome, forced deterministically: with both
+  // nodes logically deleted, a right-side operation removes both at once.
+  typename TestFixture::Deque d;
+  ASSERT_EQ(d.push_right(1), PushResult::kOkay);
+  ASSERT_EQ(d.push_right(2), PushResult::kOkay);
+  ASSERT_EQ(d.pop_left(), 1u);
+  ASSERT_EQ(d.pop_right(), 2u);
+  ASSERT_TRUE(d.left_deleted_bit_unsynchronized());
+  ASSERT_TRUE(d.right_deleted_bit_unsynchronized());
+  ASSERT_EQ(d.push_right(3), PushResult::kOkay);  // triggers deleteRight
+  EXPECT_FALSE(d.right_deleted_bit_unsynchronized());
+  // The pair-DCAS removed both null nodes (sentinels pointed at each other
+  // before the push spliced the new node in).
+  EXPECT_FALSE(d.left_deleted_bit_unsynchronized());
+  EXPECT_EQ(d.chain_length_unsynchronized(), 1u);
+  EXPECT_EQ(d.pop_left(), 3u);
+}
+
+TYPED_TEST(ListStatesTest, TwoDeletedCellsResolveFromLeft) {
+  typename TestFixture::Deque d;
+  ASSERT_EQ(d.push_right(1), PushResult::kOkay);
+  ASSERT_EQ(d.push_right(2), PushResult::kOkay);
+  ASSERT_EQ(d.pop_left(), 1u);
+  ASSERT_EQ(d.pop_right(), 2u);
+  ASSERT_EQ(d.push_left(3), PushResult::kOkay);  // triggers deleteLeft
+  EXPECT_FALSE(d.left_deleted_bit_unsynchronized());
+  EXPECT_FALSE(d.right_deleted_bit_unsynchronized());
+  EXPECT_EQ(d.chain_length_unsynchronized(), 1u);
+  EXPECT_EQ(d.pop_right(), 3u);
+}
+
+TYPED_TEST(ListStatesTest, NodesAreReclaimedAndReused) {
+  // A bounded pool sustains unbounded traffic once EBR recycles nodes.
+  // (The pool must absorb EBR's reclamation lag — retired nodes wait two
+  // epoch advances — hence 1024 slots for a working set of 1.)
+  typename TestFixture::Deque d(1024);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    ASSERT_EQ(d.push_right(i), PushResult::kOkay) << "leak at " << i;
+    ASSERT_EQ(d.pop_left(), i);
+    if (i % 128 == 0) d.reclaimer().collect();
+  }
+}
+
+TYPED_TEST(ListStatesTest, ConcurrentContendingDeletes) {
+  // Figure 16 under real concurrency: repeatedly reach the two-deleted
+  // state, then let two threads race the physical deletes via pops.
+  typename TestFixture::Deque d(1 << 12);
+  for (int round = 0; round < 500; ++round) {
+    ASSERT_EQ(d.push_right(1), PushResult::kOkay);
+    ASSERT_EQ(d.push_right(2), PushResult::kOkay);
+    ASSERT_EQ(d.pop_left(), 1u);
+    ASSERT_EQ(d.pop_right(), 2u);
+    dcd::util::SpinBarrier barrier(2);
+    std::thread left([&] {
+      barrier.arrive_and_wait();
+      EXPECT_FALSE(d.pop_left().has_value());
+    });
+    std::thread right([&] {
+      barrier.arrive_and_wait();
+      EXPECT_FALSE(d.pop_right().has_value());
+    });
+    left.join();
+    right.join();
+    ASSERT_EQ(d.size_unsynchronized(), 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Theorem 3.1, checked empirically: recorded concurrent histories of the
+// array deque must be linearizable, across policies, options, capacities
+// and workload mixes (including the 1-2 element deques that hammer the
+// Figure 6 boundary races).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dcd/deque/array_deque.hpp"
+#include "dcd/verify/driver.hpp"
+#include "dcd/verify/linearizability.hpp"
+
+namespace {
+
+using namespace dcd::deque;
+using namespace dcd::verify;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+
+template <typename P, ArrayOptions O>
+struct Cfg {
+  using Policy = P;
+  static constexpr ArrayOptions kOpt = O;
+};
+
+template <typename C>
+class ArrayLinTest : public ::testing::Test {
+ protected:
+  using Deque = ArrayDeque<std::uint64_t, typename C::Policy, C::kOpt>;
+
+  // Runs `rounds` short recorded workloads and checks each.
+  void check_rounds(std::size_t capacity, const WorkloadConfig& base,
+                    int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      Deque d(capacity);
+      WorkloadConfig cfg = base;
+      cfg.seed = base.seed + static_cast<std::uint64_t>(r) * 7919;
+      const History h = run_recorded(d, cfg);
+      const CheckResult res = check_linearizable(h, capacity);
+      ASSERT_EQ(res.verdict, Verdict::kLinearizable)
+          << "round " << r << " (seed " << cfg.seed << "): " << res.message;
+    }
+  }
+};
+
+constexpr ArrayOptions kBoth{true, true};
+constexpr ArrayOptions kNeither{false, false};
+
+using Configs =
+    ::testing::Types<Cfg<GlobalLockDcas, kBoth>, Cfg<GlobalLockDcas, kNeither>,
+                     Cfg<StripedLockDcas, kBoth>, Cfg<McasDcas, kBoth>,
+                     Cfg<McasDcas, kNeither>>;
+TYPED_TEST_SUITE(ArrayLinTest, Configs);
+
+TYPED_TEST(ArrayLinTest, TinyDequeTwoThreads) {
+  WorkloadConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 12;
+  cfg.seed = 1;
+  this->check_rounds(1, cfg, 40);
+  this->check_rounds(2, cfg, 40);
+}
+
+TYPED_TEST(ArrayLinTest, SmallDequeThreeThreads) {
+  WorkloadConfig cfg;
+  cfg.threads = 3;
+  cfg.ops_per_thread = 8;
+  cfg.seed = 100;
+  this->check_rounds(3, cfg, 30);
+}
+
+TYPED_TEST(ArrayLinTest, PopHeavyHammersEmpty) {
+  WorkloadConfig cfg;
+  cfg.threads = 3;
+  cfg.ops_per_thread = 10;
+  cfg.seed = 200;
+  cfg.push_right = 1;
+  cfg.push_left = 1;
+  cfg.pop_right = 4;
+  cfg.pop_left = 4;
+  this->check_rounds(2, cfg, 30);
+}
+
+TYPED_TEST(ArrayLinTest, PushHeavyHammersFull) {
+  WorkloadConfig cfg;
+  cfg.threads = 3;
+  cfg.ops_per_thread = 10;
+  cfg.seed = 300;
+  cfg.push_right = 4;
+  cfg.push_left = 4;
+  cfg.pop_right = 1;
+  cfg.pop_left = 1;
+  this->check_rounds(2, cfg, 30);
+}
+
+TYPED_TEST(ArrayLinTest, FourThreadsMidSize) {
+  WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 7;
+  cfg.seed = 400;
+  this->check_rounds(8, cfg, 20);
+}
+
+}  // namespace

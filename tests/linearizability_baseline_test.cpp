@@ -1,0 +1,72 @@
+// The baselines must be linearizable too (they anchor E5's comparison, and
+// they double as a sanity check that the checker accepts ordinary correct
+// implementations beyond the DCAS deques).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dcd/baseline/mutex_deque.hpp"
+#include "dcd/baseline/spin_deque.hpp"
+#include "dcd/baseline/two_lock_deque.hpp"
+#include "dcd/verify/driver.hpp"
+#include "dcd/verify/linearizability.hpp"
+
+namespace {
+
+using namespace dcd::baseline;
+using namespace dcd::verify;
+
+template <typename D>
+class BaselineLinTest : public ::testing::Test {
+ protected:
+  void check_rounds(std::size_t capacity, const WorkloadConfig& base,
+                    int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      D d(capacity);
+      WorkloadConfig cfg = base;
+      cfg.seed = base.seed + static_cast<std::uint64_t>(r) * 104729;
+      const History h = run_recorded(d, cfg);
+      const CheckResult res = check_linearizable(h, capacity);
+      ASSERT_EQ(res.verdict, Verdict::kLinearizable)
+          << "round " << r << " (seed " << cfg.seed << "): " << res.message;
+    }
+  }
+};
+
+using Deques =
+    ::testing::Types<MutexDeque<std::uint64_t>, SpinDeque<std::uint64_t>,
+                     TwoLockDeque<std::uint64_t>>;
+TYPED_TEST_SUITE(BaselineLinTest, Deques);
+
+TYPED_TEST(BaselineLinTest, TinyCapacity) {
+  WorkloadConfig cfg;
+  cfg.threads = 3;
+  cfg.ops_per_thread = 8;
+  cfg.seed = 5;
+  this->check_rounds(2, cfg, 25);
+}
+
+TYPED_TEST(BaselineLinTest, MidCapacityMixed) {
+  WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 7;
+  cfg.seed = 55;
+  this->check_rounds(16, cfg, 20);
+}
+
+TYPED_TEST(BaselineLinTest, TwoLockBoundaryCrossings) {
+  // Extra rounds around the both-locks threshold for TwoLockDeque (and
+  // harmless for the others): capacity near the threshold keeps every op
+  // crossing between single- and double-lock modes.
+  WorkloadConfig cfg;
+  cfg.threads = 3;
+  cfg.ops_per_thread = 10;
+  cfg.seed = 555;
+  cfg.push_right = 2;
+  cfg.push_left = 2;
+  cfg.pop_right = 2;
+  cfg.pop_left = 2;
+  this->check_rounds(5, cfg, 25);
+}
+
+}  // namespace

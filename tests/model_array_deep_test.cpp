@@ -1,0 +1,72 @@
+// Larger exhaustive explorations of the array model (kept in their own
+// binary so ctest can run them in parallel with the rest).
+#include <gtest/gtest.h>
+
+#include "dcd/model/array_model.hpp"
+
+namespace {
+
+using namespace dcd::model;
+
+TEST(ArrayModelDeep, FourOpsOnTinyDeque) {
+  // Two pops racing two pushes across a capacity-2 deque holding one item:
+  // every boundary case (empty, full, last-item steal) is reachable.
+  const auto r = explore_array(
+      ArrayState::with_items(2, {5}),
+      {{OpKind::kPopRight}, {OpKind::kPopLeft},
+       {OpKind::kPushRight, 7}, {OpKind::kPushLeft, 8}});
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.states, 500u);  // memoisation collapses the raw schedule count
+  EXPECT_GT(r.completions, 0u);
+}
+
+TEST(ArrayModelDeep, FourOpsOnEmpty) {
+  const auto r = explore_array(
+      ArrayState::empty(3),
+      {{OpKind::kPushRight, 7}, {OpKind::kPushLeft, 8}, {OpKind::kPopRight},
+       {OpKind::kPopLeft}});
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(ArrayModelDeep, FourOpsOnFull) {
+  const auto r = explore_array(
+      ArrayState::with_items(3, {1, 2, 3}),
+      {{OpKind::kPushRight, 7}, {OpKind::kPushLeft, 8}, {OpKind::kPopRight},
+       {OpKind::kPopLeft}});
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(ArrayModelDeep, ThreeSameEndPoppers) {
+  const auto r = explore_array(
+      ArrayState::with_items(4, {1, 2}),
+      {{OpKind::kPopRight}, {OpKind::kPopRight}, {OpKind::kPopRight}});
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(ArrayModelDeep, AllStartOffsetsCapacityThree) {
+  // Wrapped configurations: the invariant's wrapped/non-wrapped case split
+  // must hold regardless of where the segment sits.
+  for (std::size_t l_pos = 0; l_pos < 3; ++l_pos) {
+    for (std::size_t items = 0; items <= 3; ++items) {
+      std::vector<std::uint64_t> vs;
+      for (std::size_t i = 0; i < items; ++i) vs.push_back(10 + i);
+      const auto r = explore_array(
+          ArrayState::with_items(3, vs, l_pos),
+          {{OpKind::kPopLeft}, {OpKind::kPushRight, 9}});
+      ASSERT_TRUE(r.ok)
+          << "l_pos=" << l_pos << " items=" << items << ": " << r.error;
+    }
+  }
+}
+
+TEST(ArrayModelDeep, WeakOptionsFourOps) {
+  // The no-optimisation variant must also survive the 4-op race.
+  const auto r = explore_array(
+      ArrayState::with_items(2, {5}),
+      {{OpKind::kPopRight}, {OpKind::kPopLeft},
+       {OpKind::kPushRight, 7}, {OpKind::kPushLeft, 8}},
+      dcd::deque::ArrayOptions{false, false});
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Unit tests for the util substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "dcd/util/align.hpp"
+#include "dcd/util/backoff.hpp"
+#include "dcd/util/barrier.hpp"
+#include "dcd/util/rng.hpp"
+#include "dcd/util/stats.hpp"
+#include "dcd/util/stopwatch.hpp"
+#include "dcd/util/thread_registry.hpp"
+#include "dcd/util/topology.hpp"
+
+namespace {
+
+using namespace dcd::util;
+
+TEST(Align, CacheAlignedIsPaddedAndAligned) {
+  CacheAligned<int> a(7);
+  EXPECT_EQ(*a, 7);
+  EXPECT_EQ(sizeof(a), kCacheLineSize);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&a) % kCacheLineSize, 0u);
+}
+
+TEST(Align, ArrayElementsOnDistinctLines) {
+  CacheAligned<char> arr[4];
+  for (int i = 1; i < 4; ++i) {
+    const auto d = reinterpret_cast<std::uintptr_t>(&arr[i]) -
+                   reinterpret_cast<std::uintptr_t>(&arr[i - 1]);
+    EXPECT_EQ(d, kCacheLineSize);
+  }
+}
+
+TEST(Backoff, PauseProgressesWithoutHanging) {
+  Backoff b(16);
+  for (int i = 0; i < 100; ++i) b.pause();  // must escalate to yield, not spin
+  b.reset();
+  b.pause();
+  SUCCEED();
+}
+
+TEST(Rng, SplitMix64IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDistinctSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(rng.chance(10, 10));
+    EXPECT_FALSE(rng.chance(0, 10));
+  }
+}
+
+TEST(Barrier, ReleasesAllParties) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> in_round{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        in_round.fetch_add(1);
+        barrier.arrive_and_wait();
+        // All kThreads must have arrived before anyone proceeds.
+        if (in_round.load() < kThreads * (r + 1)) failed.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(Stats, SummaryMatchesHandComputation) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, SummaryMergeEqualsCombinedStream) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 50; i < 120; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, MergeIntoEmpty) {
+  Summary a, b;
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(Stats, HistogramBucketsAndQuantiles) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1000);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0 and 1
+  EXPECT_EQ(h.bucket(1), 2u);  // 2 and 3
+  EXPECT_EQ(h.bucket(9), 1u);  // 1000 in [512, 1024)
+  EXPECT_GE(h.quantile(1.0), 1000u);
+  EXPECT_LE(h.quantile(0.2), 1u);
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+TEST(Stats, HistogramMerge) {
+  Log2Histogram a, b;
+  a.add(5);
+  b.add(500);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(sw.elapsed_ns(), 1'000'000u);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_s(), 1.0);
+}
+
+TEST(ThreadRegistry, StableIdWithinThread) {
+  const std::size_t a = ThreadRegistry::self();
+  const std::size_t b = ThreadRegistry::self();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, ThreadRegistry::kMaxThreads);
+  EXPECT_TRUE(ThreadRegistry::slot_live(a));
+}
+
+TEST(ThreadRegistry, DistinctIdsForConcurrentThreads) {
+  constexpr int kThreads = 8;
+  std::vector<std::size_t> ids(kThreads);
+  SpinBarrier barrier(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      ids[t] = ThreadRegistry::self();
+      barrier.arrive_and_wait();  // hold the slot until everyone has one
+    });
+  }
+  for (auto& t : ts) t.join();
+  std::set<std::size_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ThreadRegistry, SlotsRecycleAfterThreadExit) {
+  std::size_t first = 0;
+  std::thread([&] { first = ThreadRegistry::self(); }).join();
+  // The exited thread's slot must be claimable again.
+  std::size_t again = 0;
+  std::thread([&] { again = ThreadRegistry::self(); }).join();
+  EXPECT_EQ(first, again);
+}
+
+TEST(Topology, ProbeIsSane) {
+  const Topology t = probe_topology();
+  EXPECT_GE(t.hardware_threads, 1u);
+  EXPECT_FALSE(t.describe().empty());
+}
+
+}  // namespace

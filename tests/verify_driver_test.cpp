@@ -1,0 +1,99 @@
+// The workload driver itself: recorded histories must be well-formed
+// before we trust what the checker says about them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dcd/baseline/mutex_deque.hpp"
+#include "dcd/verify/driver.hpp"
+#include "dcd/verify/linearizability.hpp"
+
+namespace {
+
+using namespace dcd::verify;
+
+TEST(Driver, ProducesExactlyTheRequestedOps) {
+  dcd::baseline::MutexDeque<std::uint64_t> d(64);
+  WorkloadConfig cfg;
+  cfg.threads = 3;
+  cfg.ops_per_thread = 20;
+  cfg.seed = 5;
+  const History h = run_recorded(d, cfg);
+  EXPECT_EQ(h.ops.size(), cfg.threads * cfg.ops_per_thread);
+}
+
+TEST(Driver, TicketsAreUniqueAndOrdered) {
+  dcd::baseline::MutexDeque<std::uint64_t> d(64);
+  WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 25;
+  cfg.seed = 6;
+  const History h = run_recorded(d, cfg);
+  std::set<std::uint64_t> tickets;
+  for (const Operation& op : h.ops) {
+    EXPECT_LT(op.invoke_seq, op.response_seq);
+    EXPECT_TRUE(tickets.insert(op.invoke_seq).second);
+    EXPECT_TRUE(tickets.insert(op.response_seq).second);
+  }
+}
+
+TEST(Driver, PushedValuesAreGloballyUnique) {
+  dcd::baseline::MutexDeque<std::uint64_t> d(1 << 10);
+  WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 50;
+  cfg.seed = 7;
+  cfg.pop_right = 0;  // pushes only
+  cfg.pop_left = 0;
+  const History h = run_recorded(d, cfg);
+  std::set<std::uint64_t> values;
+  for (const Operation& op : h.ops) {
+    ASSERT_TRUE(op.type == OpType::kPushRight ||
+                op.type == OpType::kPushLeft);
+    EXPECT_TRUE(values.insert(op.arg).second) << "duplicate value";
+  }
+}
+
+TEST(Driver, WeightsSteerTheMix) {
+  dcd::baseline::MutexDeque<std::uint64_t> d(1 << 10);
+  WorkloadConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 200;
+  cfg.seed = 8;
+  cfg.push_right = 1;
+  cfg.push_left = 0;
+  cfg.pop_right = 0;
+  cfg.pop_left = 1;
+  const History h = run_recorded(d, cfg);
+  for (const Operation& op : h.ops) {
+    EXPECT_TRUE(op.type == OpType::kPushRight || op.type == OpType::kPopLeft)
+        << op.describe();
+  }
+}
+
+TEST(Driver, UnrecordedNetMatchesResidue) {
+  dcd::baseline::MutexDeque<std::uint64_t> d(1 << 10);
+  WorkloadConfig cfg;
+  cfg.threads = 3;
+  cfg.ops_per_thread = 500;
+  cfg.seed = 9;
+  const std::int64_t net = run_unrecorded(d, cfg);
+  std::int64_t residue = 0;
+  while (d.pop_left()) ++residue;
+  EXPECT_EQ(residue, net);
+}
+
+TEST(Driver, DescribeIsHumanReadable) {
+  Operation op;
+  op.type = OpType::kPushRight;
+  op.arg = 42;
+  op.push_ok = true;
+  op.invoke_seq = 1;
+  op.response_seq = 2;
+  EXPECT_EQ(op.describe(), "pushRight(42) -> okay [1,2]");
+  op.type = OpType::kPopLeft;
+  op.pop_has_value = false;
+  EXPECT_EQ(op.describe(), "popLeft() -> empty [1,2]");
+}
+
+}  // namespace

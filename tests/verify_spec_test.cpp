@@ -1,0 +1,74 @@
+// SpecDeque: the §2.2 state machine, verbatim.
+#include <gtest/gtest.h>
+
+#include "dcd/verify/spec_deque.hpp"
+
+namespace {
+
+using dcd::deque::PushResult;
+using dcd::verify::SpecDeque;
+
+TEST(SpecDeque, PaperExampleTrace) {
+  SpecDeque s(8);
+  EXPECT_EQ(s.push_right(1), PushResult::kOkay);  // <1>
+  EXPECT_EQ(s.push_left(2), PushResult::kOkay);   // <2 1>
+  EXPECT_EQ(s.push_right(3), PushResult::kOkay);  // <2 1 3>
+  EXPECT_EQ(s.pop_left(), 2u);                    // <1 3>
+  EXPECT_EQ(s.pop_left(), 1u);                    // <3>
+  EXPECT_EQ(s.pop_left(), 3u);
+  EXPECT_FALSE(s.pop_left().has_value());
+}
+
+TEST(SpecDeque, FullSemantics) {
+  SpecDeque s(2);
+  EXPECT_EQ(s.push_right(1), PushResult::kOkay);
+  EXPECT_EQ(s.push_left(2), PushResult::kOkay);
+  EXPECT_TRUE(s.full());
+  EXPECT_EQ(s.push_right(3), PushResult::kFull);
+  EXPECT_EQ(s.push_left(3), PushResult::kFull);
+  EXPECT_EQ(s.size(), 2u);  // unchanged by failed pushes
+  EXPECT_EQ(s.pop_right(), 1u);
+  EXPECT_EQ(s.pop_right(), 2u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SpecDeque, UnboundedNeverFull) {
+  SpecDeque s(SpecDeque::kUnbounded);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(s.push_right(i), PushResult::kOkay);
+  }
+  EXPECT_FALSE(s.full());
+}
+
+TEST(SpecDeque, PopEmptyLeavesStateUnchanged) {
+  SpecDeque s(4);
+  EXPECT_FALSE(s.pop_right().has_value());
+  EXPECT_FALSE(s.pop_left().has_value());
+  EXPECT_TRUE(s.empty());
+  s.push_right(5);
+  EXPECT_EQ(s.pop_left(), 5u);
+}
+
+TEST(SpecDeque, FingerprintDistinguishesStatesAndOrder) {
+  SpecDeque a(8), b(8);
+  a.push_right(1);
+  a.push_right(2);
+  b.push_right(2);
+  b.push_right(1);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  SpecDeque c(8);
+  c.push_left(2);
+  c.push_left(1);  // <1 2> == a
+  EXPECT_EQ(a.fingerprint(), c.fingerprint());
+}
+
+TEST(SpecDeque, EqualityComparesContents) {
+  SpecDeque a(8), b(8);
+  EXPECT_TRUE(a == b);
+  a.push_right(1);
+  EXPECT_FALSE(a == b);
+  b.push_left(1);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
