@@ -13,6 +13,7 @@
 
 #include "dcd/dcas/telemetry.hpp"
 #include "dcd/deque/types.hpp"
+#include "dcd/util/backoff.hpp"
 #include "dcd/util/rng.hpp"
 #include "dcd/util/topology.hpp"
 
@@ -64,6 +65,22 @@ inline void report_telemetry(benchmark::State& state) {
       static_cast<double>(c.dcas_failures) / iters;
   state.counters["cas/op"] = static_cast<double>(c.cas_ops) / iters;
   state.counters["load/op"] = static_cast<double>(c.loads) / iters;
+}
+
+// Attaches a retry-pressure counter from a set of Backoff objects, one per
+// worker. Backoff::pauses() is the *exact* number of pause() calls — i.e.
+// failed attempts — including those made in the yield regime. (It used to
+// be derived from the spin budget, which stops doubling once the backoff
+// escalates to yield, silently capping the reported pressure; E2's
+// contention rows rely on the exact count.)
+template <typename BackoffRange>
+void report_backoff_pressure(benchmark::State& state,
+                             const BackoffRange& backoffs) {
+  std::uint64_t total = 0;
+  for (const auto& b : backoffs) total += b.pauses();
+  const auto iters = static_cast<double>(state.iterations());
+  if (iters == 0) return;
+  state.counters["retries/op"] = static_cast<double>(total) / iters;
 }
 
 }  // namespace dcd::bench

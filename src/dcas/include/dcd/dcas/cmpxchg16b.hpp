@@ -39,10 +39,13 @@ class Cmpxchg16bDcas {
 
   static bool dcas(AdjacentPair& pair, std::uint64_t olo, std::uint64_t ohi,
                    std::uint64_t nlo, std::uint64_t nhi) noexcept {
+#if defined(__x86_64__)
     // Counted separately from policy-level DCAS: this primitive also backs
     // pool internals, which must not distort the algorithms' dcas/op rows.
+    // Counted only where a hardware DCAS actually executes — the non-x86
+    // branch asserts before touching memory, and charging it would make the
+    // E1 telemetry claim hardware calls that never happened.
     ++Telemetry::tl().hw_dcas_calls;
-#if defined(__x86_64__)
     bool ok;
     asm volatile("lock cmpxchg16b %1"
                  : "=@ccz"(ok), "+m"(pair), "+a"(olo), "+d"(ohi)
@@ -69,8 +72,18 @@ class Cmpxchg16bDcas {
                  : "b"(lo), "c"(hi)
                  : "cc", "memory");
 #else
-    lo = pair.lo.load(std::memory_order_acquire);
-    hi = pair.hi.load(std::memory_order_acquire);
+    // No 16-byte atomic load without the instruction. Two independent
+    // acquire loads would be a *torn* read dressed up as an atomic one, so
+    // take the same global lock both fields share nothing else with — the
+    // only honest option here. Callers needing lock-freedom already gate on
+    // available() / DCD_TAGGED_POOL_LOCKFREE, and dcas() asserts out on
+    // this architecture anyway.
+    static std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    while (lock.test_and_set(std::memory_order_acquire)) {
+    }
+    lo = pair.lo.load(std::memory_order_relaxed);
+    hi = pair.hi.load(std::memory_order_relaxed);
+    lock.clear(std::memory_order_release);
 #endif
   }
 };

@@ -10,6 +10,7 @@
 #include <concepts>
 #include <cstdint>
 
+#include "dcd/dcas/chaos.hpp"
 #include "dcd/dcas/global_lock.hpp"
 #include "dcd/dcas/mcas.hpp"
 #include "dcd/dcas/striped_lock.hpp"
@@ -32,6 +33,11 @@ concept DcasPolicy = requires(Word& w, const Word& cw, std::uint64_t v,
 static_assert(DcasPolicy<GlobalLockDcas>);
 static_assert(DcasPolicy<StripedLockDcas>);
 static_assert(DcasPolicy<McasDcas>);
+// The fault-injection wrapper is a policy over any policy (chaos suites run
+// the deques unchanged under it — see chaos.hpp).
+static_assert(DcasPolicy<ChaosDcas<GlobalLockDcas>>);
+static_assert(DcasPolicy<ChaosDcas<StripedLockDcas>>);
+static_assert(DcasPolicy<ChaosDcas<McasDcas>>);
 
 // Default policy for user-facing typedefs: the lock-free emulation, which
 // preserves the paper's progress guarantee end-to-end.

@@ -36,32 +36,44 @@ class Backoff {
 
   // Call once per failed attempt.
   void pause() noexcept {
+    ++pauses_;
     if (current_ <= spin_limit_) {
       for (std::uint32_t i = 0; i < current_; ++i) {
         cpu_relax();
       }
-      current_ *= 2;
+      current_ = next_budget(current_);
     } else {
       std::this_thread::yield();
     }
   }
 
-  void reset() noexcept { current_ = 1; }
-
-  // Number of pause() calls since construction/reset; used by benches to
-  // report retry pressure.
-  std::uint64_t pauses() const noexcept { return count_helper(); }
-
- private:
-  std::uint64_t count_helper() const noexcept {
-    // current_ doubles from 1, so log2(current_) == number of spin rounds.
-    std::uint64_t n = 0;
-    for (std::uint32_t c = current_; c > 1; c /= 2) ++n;
-    return n;
+  void reset() noexcept {
+    current_ = 1;
+    pauses_ = 0;
   }
 
+  // Exact number of pause() calls since construction/reset — spin and
+  // yield regime alike; used by benches to report retry pressure. (An
+  // earlier version derived this as log2 of the spin budget, which froze
+  // once escalation to yield() stopped the budget from doubling.)
+  std::uint64_t pauses() const noexcept { return pauses_; }
+
+  // Next spin budget: doubles, saturating instead of wrapping. Without the
+  // saturation a spin_limit >= 2^31 let `current_ * 2` wrap a uint32_t to
+  // 0, degenerating every later pause() into a zero-spin busy loop. Pure
+  // so the overflow boundary is unit-testable without spinning 2^31 times.
+  static constexpr std::uint32_t next_budget(std::uint32_t current) noexcept {
+    constexpr std::uint32_t kMax = ~std::uint32_t{0};
+    return current > kMax / 2 ? kMax : current * 2;
+  }
+
+  // Current spin budget (diagnostics/tests).
+  std::uint32_t spin_budget() const noexcept { return current_; }
+
+ private:
   std::uint32_t spin_limit_;
   std::uint32_t current_ = 1;
+  std::uint64_t pauses_ = 0;
 };
 
 }  // namespace dcd::util

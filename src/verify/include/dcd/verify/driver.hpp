@@ -9,13 +9,16 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "dcd/dcas/chaos.hpp"
 #include "dcd/deque/types.hpp"
 #include "dcd/util/barrier.hpp"
 #include "dcd/util/rng.hpp"
 #include "dcd/verify/history.hpp"
+#include "dcd/verify/linearizability.hpp"
 
 namespace dcd::verify {
 
@@ -94,6 +97,187 @@ History run_recorded(D& deque, const WorkloadConfig& cfg) {
     history.ops.insert(history.ops.end(), log.begin(), log.end());
   }
   return history;
+}
+
+// Runs a single operation against the deque, recording tickets. Used by the
+// chaos smoke for its deterministic frame ops (seed pushes, drains).
+template <typename D>
+Operation recorded_op(D& deque, OpType type, std::uint64_t arg = 0) {
+  Operation op;
+  op.type = type;
+  op.arg = arg;
+  op.invoke_seq = HistoryClock::tick();
+  switch (type) {
+    case OpType::kPushRight:
+      op.push_ok = deque.push_right(arg) == deque::PushResult::kOkay;
+      break;
+    case OpType::kPushLeft:
+      op.push_ok = deque.push_left(arg) == deque::PushResult::kOkay;
+      break;
+    case OpType::kPopRight: {
+      const std::optional<std::uint64_t> v = deque.pop_right();
+      op.pop_has_value = v.has_value();
+      op.pop_value = v.value_or(0);
+      break;
+    }
+    case OpType::kPopLeft: {
+      const std::optional<std::uint64_t> v = deque.pop_left();
+      op.pop_has_value = v.has_value();
+      op.pop_value = v.value_or(0);
+      break;
+    }
+  }
+  op.response_seq = HistoryClock::tick();
+  return op;
+}
+
+// --- Suspended-popper robustness smoke (§5.2's adversarial schedule) -------
+//
+// One worker is parked by the chaos layer *inside* a pop — for the list
+// deque between its logical and physical delete, which is exactly the
+// suspended popper the paper's physical-delete protocol must tolerate. With
+// the popper parked the smoke asserts the remaining workers complete a
+// bounded op count (the lock-freedom claim made observable), that every
+// window of recorded concurrent history linearizes, and that after release
+// the popper's pop returns the value it claimed and the surrounding frame
+// history linearizes too.
+struct ChaosSmokeConfig {
+  // Sync point the popper must park at ("pop.logical_delete" for the list
+  // deque, "pop.commit" for the array deque).
+  const char* park_point = dcas::sync_point::kLogicalDelete;
+  // The popper's operation; it must claim `expected_popper_value`.
+  OpType popper_op = OpType::kPopRight;
+  std::size_t worker_threads = 3;
+  std::size_t window_ops_per_thread = 16;
+  // The smoke keeps running worker windows until at least this many worker
+  // ops completed while the popper stayed parked.
+  std::size_t min_total_ops = 10'000;
+  std::uint64_t seed = 1;
+  // Deque bound for the checker (SpecDeque::kUnbounded for the list deque).
+  std::size_t capacity = SpecDeque::kUnbounded;
+  std::uint64_t park_timeout_ms = 10'000;
+  // How many windows get the full linearizability check. Checking is
+  // superlinear in history length, so the smoke verifies small recorded
+  // windows rather than one huge history; past this count windows still run
+  // (for the op-count bound) but unchecked.
+  std::size_t max_checked_windows = 8;
+};
+
+struct ChaosSmokeReport {
+  bool ok = false;
+  std::string message;  // first failure, empty when ok
+  std::size_t windows = 0;
+  std::size_t checked_windows = 0;
+  std::size_t worker_ops = 0;
+  bool popper_parked_throughout = false;
+  bool popper_resumed = false;
+  std::optional<std::uint64_t> popper_value;
+  // The frame history (seed pushes, pre-drain, popper op) and its verdict.
+  History frame_history;
+  Verdict frame_verdict = Verdict::kLimitExceeded;
+};
+
+// Requirements: `chaos` is the installed controller, armed with no rules
+// yet; the deque is empty. The two seed values live in a high thread-id
+// namespace so they cannot collide with worker values ((t << 40) | i).
+template <typename D>
+ChaosSmokeReport run_parked_popper_smoke(D& deque,
+                                         dcas::ChaosController& chaos,
+                                         const ChaosSmokeConfig& cfg) {
+  ChaosSmokeReport rep;
+  auto fail = [&rep](std::string msg) -> ChaosSmokeReport& {
+    rep.ok = false;
+    if (rep.message.empty()) rep.message = std::move(msg);
+    return rep;
+  };
+
+  constexpr std::uint64_t kSeedBase = 0xAAull << 40;
+  const std::uint64_t v_keep = kSeedBase | 1;   // survives until pre-drain
+  const std::uint64_t v_claim = kSeedBase | 2;  // the popper's value
+
+  // Frame: push the two seed values; v_claim sits at the right end.
+  rep.frame_history.append(recorded_op(deque, OpType::kPushLeft, v_keep));
+  rep.frame_history.append(recorded_op(deque, OpType::kPushRight, v_claim));
+
+  // Arm before the popper starts: its first hit of the park point (its own
+  // pop) is hit #1 because no other traffic is running yet.
+  const std::size_t rule = chaos.arm_park(cfg.park_point, 1);
+
+  Operation popper_op;
+  std::thread popper([&] {
+    popper_op = recorded_op(deque, cfg.popper_op, 0);
+  });
+
+  if (!chaos.wait_parked(rule, cfg.park_timeout_ms)) {
+    chaos.release(rule);
+    popper.join();
+    return fail("popper never parked at sync point (timeout)");
+  }
+
+  // Pre-drain: with the popper suspended mid-pop the deque must still serve
+  // the other end; v_keep comes out on the left.
+  rep.frame_history.append(recorded_op(deque, OpType::kPopLeft, 0));
+
+  // Windows of concurrent worker traffic while the popper stays parked.
+  // Every window starts and ends with the deque (logically) empty, so each
+  // window's history is self-contained and cheap to check.
+  rep.popper_parked_throughout = true;
+  WorkloadConfig wl;
+  wl.threads = cfg.worker_threads;
+  wl.ops_per_thread = cfg.window_ops_per_thread;
+  while (rep.worker_ops < cfg.min_total_ops) {
+    wl.seed = cfg.seed + 0x9e3779b9ull * (rep.windows + 1);
+    History window = run_recorded(deque, wl);
+    rep.worker_ops += window.ops.size();
+    ++rep.windows;
+    // Drain single-threaded so the next window starts empty; drained pops
+    // belong to this window's history.
+    for (;;) {
+      Operation drain = recorded_op(deque, OpType::kPopLeft, 0);
+      window.append(drain);
+      if (!drain.pop_has_value) break;
+    }
+    if (!chaos.parked(rule)) {
+      rep.popper_parked_throughout = false;
+      fail("popper left its park point without release");
+      break;
+    }
+    if (rep.checked_windows < cfg.max_checked_windows) {
+      const CheckResult res = check_linearizable(window, cfg.capacity);
+      ++rep.checked_windows;
+      if (!res.ok()) {
+        fail("window " + std::to_string(rep.windows) +
+             " not linearizable: " + res.message);
+        break;
+      }
+    }
+  }
+
+  // Resume the popper; it must complete its pop with the claimed value.
+  chaos.release(rule);
+  popper.join();
+  rep.popper_resumed = true;
+  if (popper_op.pop_has_value) rep.popper_value = popper_op.pop_value;
+  rep.frame_history.append(popper_op);
+
+  if (!rep.message.empty()) return rep;
+  if (!popper_op.pop_has_value || popper_op.pop_value != v_claim) {
+    return fail("popper returned " +
+                (popper_op.pop_has_value
+                     ? std::to_string(popper_op.pop_value)
+                     : std::string("empty")) +
+                ", expected " + std::to_string(v_claim));
+  }
+
+  const CheckResult frame = check_linearizable(rep.frame_history,
+                                               cfg.capacity);
+  rep.frame_verdict = frame.verdict;
+  if (!frame.ok()) {
+    return fail("frame history not linearizable: " + frame.message);
+  }
+
+  rep.ok = true;
+  return rep;
 }
 
 // Same workload without recording (stress / leak tests). Returns the net

@@ -37,6 +37,15 @@ struct History {
   std::vector<Operation> ops;
 
   std::string describe() const;
+
+  void append(const Operation& op) { ops.push_back(op); }
+
+  // Splices another history's operations onto this one. Tickets come from
+  // the shared HistoryClock, so the merged history's real-time order is
+  // still meaningful.
+  void append(const History& other) {
+    ops.insert(ops.end(), other.ops.begin(), other.ops.end());
+  }
 };
 
 // Global real-time ticket source shared by all recorded deques.

@@ -1,0 +1,103 @@
+// ArrayDeque under ChaosDcas: a popper parked at its commit point must not
+// stop the other workers (§3 is lock-free — the parked thread holds no
+// resource anyone waits on), and randomized fault schedules must not break
+// linearizability.
+#include <gtest/gtest.h>
+
+#include "dcd/dcas/chaos.hpp"
+#include "dcd/dcas/policies.hpp"
+#include "dcd/deque/array_deque.hpp"
+#include "dcd/verify/driver.hpp"
+
+namespace {
+
+using namespace dcd;
+using dcas::ChaosController;
+using dcas::ChaosDcas;
+using dcas::ChaosSchedule;
+
+template <typename P>
+class ChaosArrayTest : public ::testing::Test {
+ protected:
+  using Deque = deque::ArrayDeque<std::uint64_t, ChaosDcas<P>>;
+};
+
+using Inners = ::testing::Types<dcas::GlobalLockDcas, dcas::StripedLockDcas,
+                                dcas::McasDcas>;
+TYPED_TEST_SUITE(ChaosArrayTest, Inners);
+
+constexpr std::size_t kCapacity = 64;
+
+TYPED_TEST(ChaosArrayTest, ParkedPopperSmoke) {
+  typename TestFixture::Deque d(kCapacity);
+  ChaosController chaos(
+      ChaosSchedule::from_seed(dcas::chaos_seed_from_env(2026)));
+  SCOPED_TRACE(chaos.schedule().describe());
+
+  verify::ChaosSmokeConfig cfg;
+  cfg.park_point = dcas::sync_point::kPopCommit;
+  cfg.popper_op = verify::OpType::kPopRight;
+  cfg.seed = chaos.schedule().seed;
+  cfg.capacity = kCapacity;
+  cfg.min_total_ops = 2000;
+
+  const verify::ChaosSmokeReport rep = verify::run_parked_popper_smoke(
+      d, chaos, cfg);
+  EXPECT_TRUE(rep.ok) << rep.message;
+  EXPECT_TRUE(rep.popper_parked_throughout);
+  EXPECT_TRUE(rep.popper_resumed);
+  EXPECT_GE(rep.worker_ops, cfg.min_total_ops);
+  EXPECT_TRUE(d.check_rep_inv_unsynchronized());
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+}
+
+TEST(ChaosArrayLockFree, ParkedPopperSmokeTenThousandOps) {
+  // ISSUE acceptance: >= 10k completed ops while the popper stays parked,
+  // under the lock-free DCAS emulation.
+  deque::ArrayDeque<std::uint64_t, ChaosDcas<dcas::McasDcas>> d(kCapacity);
+  ChaosController chaos(
+      ChaosSchedule::from_seed(dcas::chaos_seed_from_env(2026)));
+  SCOPED_TRACE(chaos.schedule().describe());
+
+  verify::ChaosSmokeConfig cfg;
+  cfg.park_point = dcas::sync_point::kPopCommit;
+  cfg.seed = chaos.schedule().seed;
+  cfg.capacity = kCapacity;
+  cfg.min_total_ops = 10'000;
+
+  const verify::ChaosSmokeReport rep = verify::run_parked_popper_smoke(
+      d, chaos, cfg);
+  EXPECT_TRUE(rep.ok) << rep.message;
+  EXPECT_TRUE(rep.popper_parked_throughout);
+  EXPECT_GE(rep.worker_ops, 10'000u);
+  EXPECT_TRUE(d.check_rep_inv_unsynchronized());
+}
+
+TEST(ChaosArrayLockFree, ForcedFailuresOnlyCauseRetries) {
+  // A schedule at the aggressive end of from_seed's range: spurious DCAS
+  // failures and delays everywhere must only slow the deque down, never
+  // corrupt it — single-threaded, so outcomes are exactly predictable.
+  // The weak variant (no dcas_view) routes every op through the boolean
+  // DCAS form, the only one the wrapper may force-fail.
+  deque::ArrayDeque<std::uint64_t, ChaosDcas<dcas::McasDcas>,
+                    deque::ArrayOptions{false, false}>
+      d(8);
+  ChaosSchedule s;
+  s.seed = 99;
+  s.delay_per_mille = 200;
+  s.max_delay_spins = 64;
+  s.dcas_fail_per_mille = 400;
+  ChaosController chaos(s);
+
+  for (std::uint64_t round = 0; round < 50; ++round) {
+    ASSERT_EQ(d.push_right(round), deque::PushResult::kOkay);
+    ASSERT_EQ(d.push_left(1000 + round), deque::PushResult::kOkay);
+    ASSERT_EQ(d.pop_left(), 1000 + round);
+    ASSERT_EQ(d.pop_right(), round);
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+  }
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+  EXPECT_GT(chaos.forced_failures(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// ListDeque under ChaosDcas: the paper's §5.2 adversarial schedules made
+// deterministic — a popper suspended between its logical and physical
+// delete (the lock-freedom smoke), and the Figure 16 two-null-node race.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dcd/dcas/chaos.hpp"
+#include "dcd/dcas/policies.hpp"
+#include "dcd/deque/list_deque.hpp"
+#include "dcd/verify/driver.hpp"
+
+namespace {
+
+using namespace dcd;
+using dcas::ChaosController;
+using dcas::ChaosDcas;
+using dcas::ChaosSchedule;
+using dcas::DcasShape;
+
+template <typename P>
+class ChaosListTest : public ::testing::Test {
+ protected:
+  // Pool sized so the parked popper's pinned EBR epoch (nothing reclaims
+  // while it sleeps) cannot exhaust allocation during the smoke's windows.
+  using Deque = deque::ListDeque<std::uint64_t, ChaosDcas<P>>;
+};
+
+using Inners = ::testing::Types<dcas::GlobalLockDcas, dcas::StripedLockDcas,
+                                dcas::McasDcas>;
+TYPED_TEST_SUITE(ChaosListTest, Inners);
+
+ChaosSchedule quiet_schedule(std::uint64_t seed = 1) {
+  ChaosSchedule s;
+  s.seed = seed;
+  return s;  // all fault probabilities zero: park rules only
+}
+
+// The acceptance smoke: one worker parked right after its pop's logical
+// delete; the remaining workers must keep completing ops (lock-freedom),
+// every recorded window must linearize, and the popper must come back with
+// the value it claimed. DCD_CHAOS_SEED replays a failing schedule.
+TYPED_TEST(ChaosListTest, ParkedPopperSmoke) {
+  typename TestFixture::Deque d(1 << 16);
+  ChaosController chaos(
+      ChaosSchedule::from_seed(dcas::chaos_seed_from_env(2026)));
+  SCOPED_TRACE(chaos.schedule().describe());
+
+  verify::ChaosSmokeConfig cfg;
+  cfg.park_point = dcas::sync_point::kLogicalDelete;
+  cfg.popper_op = verify::OpType::kPopRight;
+  cfg.seed = chaos.schedule().seed;
+  cfg.capacity = verify::SpecDeque::kUnbounded;
+  // The full 10k-op bound runs under the lock-free policy below; typed
+  // variants keep CI latency sane while still crossing many windows.
+  cfg.min_total_ops = 2000;
+
+  const verify::ChaosSmokeReport rep = verify::run_parked_popper_smoke(
+      d, chaos, cfg);
+  EXPECT_TRUE(rep.ok) << rep.message;
+  EXPECT_TRUE(rep.popper_parked_throughout);
+  EXPECT_TRUE(rep.popper_resumed);
+  EXPECT_GE(rep.worker_ops, cfg.min_total_ops);
+  EXPECT_TRUE(d.check_rep_inv_unsynchronized());
+}
+
+TEST(ChaosListLockFree, ParkedPopperSmokeTenThousandOps) {
+  // ISSUE acceptance: >= 10k completed ops while the popper stays parked,
+  // under the lock-free DCAS emulation.
+  deque::ListDeque<std::uint64_t, ChaosDcas<dcas::McasDcas>> d(1 << 16);
+  ChaosController chaos(
+      ChaosSchedule::from_seed(dcas::chaos_seed_from_env(2026)));
+  SCOPED_TRACE(chaos.schedule().describe());
+
+  verify::ChaosSmokeConfig cfg;
+  cfg.park_point = dcas::sync_point::kLogicalDelete;
+  cfg.seed = chaos.schedule().seed;
+  cfg.capacity = verify::SpecDeque::kUnbounded;
+  cfg.min_total_ops = 10'000;
+
+  const verify::ChaosSmokeReport rep = verify::run_parked_popper_smoke(
+      d, chaos, cfg);
+  EXPECT_TRUE(rep.ok) << rep.message;
+  EXPECT_TRUE(rep.popper_parked_throughout);
+  EXPECT_GE(rep.worker_ops, 10'000u);
+  EXPECT_TRUE(d.check_rep_inv_unsynchronized());
+}
+
+TEST(ChaosListLockFree, SameSeedSameSchedule) {
+  // The --chaos-seed replay contract: the seed alone reproduces the
+  // schedule (parameters and description identical across runs).
+  const std::uint64_t seed = dcas::chaos_seed_from_env(2026);
+  EXPECT_EQ(ChaosSchedule::from_seed(seed).describe(),
+            ChaosSchedule::from_seed(seed).describe());
+}
+
+// Figure 16: both sentinels point at logically deleted nodes; a
+// delete_right and a delete_left race their two-null-splice DCASes over
+// the same sentinel words. Exactly one may win. The chaos layer parks the
+// first two threads to reach the splice, staging the race deterministically
+// instead of hoping a stress run hits it.
+TYPED_TEST(ChaosListTest, Figure16TwoNullSpliceHasOneWinner) {
+  typename TestFixture::Deque d(64);
+  ChaosController chaos(quiet_schedule());
+
+  ASSERT_EQ(d.push_right(1), deque::PushResult::kOkay);
+  ASSERT_EQ(d.push_right(2), deque::PushResult::kOkay);
+  // Logically delete from both ends; physical deletes are deferred to the
+  // next operation that trips over the deleted bits.
+  ASSERT_EQ(d.pop_right(), 2u);
+  ASSERT_EQ(d.pop_left(), 1u);
+  ASSERT_TRUE(d.right_deleted_bit_unsynchronized());
+  ASSERT_TRUE(d.left_deleted_bit_unsynchronized());
+
+  // Two rules on the same point: the first thread to reach the splice
+  // parks at r1 before ever touching r2's hit counter, so the second
+  // thread parks at r2 (whichever thread arrives first).
+  const std::size_t r1 = chaos.arm_park(dcas::sync_point::kTwoNullSplice, 1);
+  const std::size_t r2 = chaos.arm_park(dcas::sync_point::kTwoNullSplice, 1);
+
+  std::optional<std::uint64_t> got_a, got_b;
+  std::thread a([&] { got_a = d.pop_right(); });  // helps via delete_right
+  std::thread b([&] { got_b = d.pop_left(); });   // helps via delete_left
+  ASSERT_TRUE(chaos.wait_parked(r1, 5000));
+  ASSERT_TRUE(chaos.wait_parked(r2, 5000));
+  // Both splice DCASes are staged on the same two sentinel words.
+  ASSERT_EQ(chaos.attempts(DcasShape::kTwoNullSplice), 2u);
+  ASSERT_EQ(chaos.successes(DcasShape::kTwoNullSplice), 0u);
+
+  chaos.release_all();
+  a.join();
+  b.join();
+
+  // Exactly one splice won; the loser saw the cleared deleted bit and
+  // retreated. Both pops then found the deque empty.
+  EXPECT_EQ(chaos.successes(DcasShape::kTwoNullSplice), 1u);
+  EXPECT_FALSE(got_a.has_value());
+  EXPECT_FALSE(got_b.has_value());
+  EXPECT_FALSE(d.right_deleted_bit_unsynchronized());
+  EXPECT_FALSE(d.left_deleted_bit_unsynchronized());
+  EXPECT_EQ(d.size_unsynchronized(), 0u);
+  EXPECT_EQ(d.chain_length_unsynchronized(), 0u);
+  EXPECT_TRUE(d.check_rep_inv_unsynchronized());
+
+  // The deque is fully usable afterwards.
+  ASSERT_EQ(d.push_left(7), deque::PushResult::kOkay);
+  EXPECT_EQ(d.pop_right(), 7u);
+}
+
+}  // namespace

@@ -21,6 +21,28 @@ TEST(Cmpxchg16b, AvailabilityMatchesArchitecture) {
 
 #if defined(__x86_64__)
 
+TEST(Cmpxchg16b, TelemetryCountsOnlyExecutedHardwareOps) {
+  // hw_dcas_calls is charged inside the x86 branch, so it counts exactly
+  // the cmpxchg16b instructions that ran (on a non-x86 build the assert
+  // path charges nothing — the counter must not claim hardware ops that
+  // never executed). read() is not a policy-level op and must not count.
+  Telemetry::reset();
+  AdjacentPair p;
+  p.lo.store(1);
+  p.hi.store(2);
+  EXPECT_TRUE(Cmpxchg16bDcas::dcas(p, 1, 2, 3, 4));    // success
+  EXPECT_FALSE(Cmpxchg16bDcas::dcas(p, 1, 2, 9, 9));   // failure
+  EXPECT_FALSE(Cmpxchg16bDcas::dcas(p, 1, 2, 9, 9));   // failure
+  std::uint64_t lo = 0, hi = 0;
+  Cmpxchg16bDcas::read(p, lo, hi);
+  EXPECT_EQ(lo, 3u);
+  EXPECT_EQ(hi, 4u);
+  const Counters c = Telemetry::snapshot();
+  EXPECT_EQ(c.hw_dcas_calls, 3u);
+  EXPECT_EQ(c.hw_dcas_failures, 2u);
+  EXPECT_EQ(c.dcas_calls, 0u);  // not a policy-level DCAS
+}
+
 TEST(Cmpxchg16b, SuccessAndFailure) {
   AdjacentPair p;
   p.lo.store(1);

@@ -102,6 +102,89 @@ TYPED_TEST(ArrayBoundaryTest, EmptyReturnLeavesStateIntact) {
   EXPECT_EQ(d.pop_right(), 5u);
 }
 
+TYPED_TEST(ArrayBoundaryTest, CapacityOneFullEmptyTransitions) {
+  // The degenerate deque: one live cell, so every successful push makes it
+  // full and every successful pop makes it empty — the empty and full
+  // boundary DCASes (lines 8-10 of Figures 2/3) fire on every operation.
+  typename TestFixture::Deque d(1);
+  ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+  EXPECT_FALSE(d.pop_left().has_value());
+  EXPECT_FALSE(d.pop_right().has_value());
+  ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+  // Push/pop through full/empty from all four end combinations.
+  struct Step {
+    bool push_right_end;
+    bool pop_right_end;
+  };
+  const Step steps[] = {{true, true}, {true, false},
+                        {false, true}, {false, false}};
+  std::uint64_t v = 100;
+  for (const Step s : steps) {
+    ASSERT_EQ(s.push_right_end ? d.push_right(v) : d.push_left(v),
+              PushResult::kOkay);
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+    EXPECT_EQ(d.size_unsynchronized(), 1u);
+    // Full from both ends.
+    EXPECT_EQ(d.push_right(999), PushResult::kFull);
+    EXPECT_EQ(d.push_left(999), PushResult::kFull);
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+    EXPECT_EQ(s.pop_right_end ? d.pop_right() : d.pop_left(), v);
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+    EXPECT_EQ(d.size_unsynchronized(), 0u);
+    // Empty from both ends.
+    EXPECT_FALSE(d.pop_right().has_value());
+    EXPECT_FALSE(d.pop_left().has_value());
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+    ++v;
+  }
+}
+
+TYPED_TEST(ArrayBoundaryTest, CapacityTwoFullEmptyTransitions) {
+  // Capacity 2: the smallest deque where both elements coexist, so FIFO
+  // vs LIFO end behaviour is observable while L and R wrap on every
+  // other operation.
+  typename TestFixture::Deque d(2);
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_EQ(d.push_right(1), PushResult::kOkay);
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+    ASSERT_EQ(d.push_left(2), PushResult::kOkay);
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+    EXPECT_EQ(d.size_unsynchronized(), 2u);
+    EXPECT_EQ(d.push_right(999), PushResult::kFull);
+    EXPECT_EQ(d.push_left(999), PushResult::kFull);
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+    // Deque is <2 1>: drain alternating ends across rounds.
+    if (round % 2 == 0) {
+      EXPECT_EQ(d.pop_left(), 2u);
+      ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+      EXPECT_EQ(d.pop_left(), 1u);
+    } else {
+      EXPECT_EQ(d.pop_right(), 1u);
+      ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+      EXPECT_EQ(d.pop_right(), 2u);
+    }
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+    EXPECT_EQ(d.size_unsynchronized(), 0u);
+    EXPECT_FALSE(d.pop_right().has_value());
+    EXPECT_FALSE(d.pop_left().has_value());
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+  }
+}
+
+TYPED_TEST(ArrayBoundaryTest, CapacityOneWeakFormTransitions) {
+  // Same degenerate bound without the optional fragments: empty/full must
+  // still be detected through the boolean DCAS alone.
+  typename TestFixture::WeakDeque d(1);
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_FALSE(d.pop_right().has_value());
+    ASSERT_EQ(d.push_left(7), PushResult::kOkay);
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+    EXPECT_EQ(d.push_right(8), PushResult::kFull);
+    EXPECT_EQ(d.pop_right(), 7u);
+    ASSERT_TRUE(d.check_rep_inv_unsynchronized());
+  }
+}
+
 TYPED_TEST(ArrayBoundaryTest, WeakFormHandlesBoundariesToo) {
   // Without lines 17-18 (and line 7) the algorithm must still detect
   // empty/full — just with extra loop iterations (§3).

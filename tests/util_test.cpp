@@ -43,6 +43,47 @@ TEST(Backoff, PauseProgressesWithoutHanging) {
   SUCCEED();
 }
 
+TEST(Backoff, PausesCountsExactlyAcrossRegimes) {
+  // pauses() must be the exact pause() call count even after the spin
+  // budget stops doubling (the yield regime) — the old log2-of-budget
+  // derivation froze there and under-reported retry pressure.
+  Backoff b(16);
+  EXPECT_EQ(b.pauses(), 0u);
+  // Budgets 1,2,4,8,16 are <= limit; the 6th call enters yield regime.
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    b.pause();
+    EXPECT_EQ(b.pauses(), i);
+  }
+  EXPECT_GT(b.spin_budget(), 16u);  // escalated past the limit
+  for (std::uint64_t i = 6; i <= 50; ++i) {
+    b.pause();  // yield regime: count must keep advancing
+    EXPECT_EQ(b.pauses(), i);
+  }
+}
+
+TEST(Backoff, ResetZeroesCountAndBudget) {
+  Backoff b(4);
+  for (int i = 0; i < 10; ++i) b.pause();
+  b.reset();
+  EXPECT_EQ(b.pauses(), 0u);
+  EXPECT_EQ(b.spin_budget(), 1u);
+  b.pause();
+  EXPECT_EQ(b.pauses(), 1u);
+}
+
+TEST(Backoff, BudgetDoublingSaturatesInsteadOfWrapping) {
+  // With spin_limit >= 2^31 the old `current_ *= 2` wrapped uint32 to 0,
+  // turning every later pause() into a zero-spin busy loop. next_budget is
+  // pure so the boundary is testable without spinning 2^31 times.
+  constexpr std::uint32_t kMax = ~std::uint32_t{0};
+  static_assert(Backoff::next_budget(1) == 2);
+  static_assert(Backoff::next_budget(1u << 30) == 1u << 31);
+  static_assert(Backoff::next_budget(1u << 31) == kMax);   // would wrap to 0
+  static_assert(Backoff::next_budget(kMax) == kMax);       // stays saturated
+  static_assert(Backoff::next_budget(kMax / 2) == kMax - 1);
+  EXPECT_EQ(Backoff::next_budget((1u << 31) + 5), kMax);
+}
+
 TEST(Rng, SplitMix64IsDeterministic) {
   SplitMix64 a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
