@@ -16,11 +16,14 @@
 // checks need no separate confirming re-read of the index word.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <type_traits>
 
+#include "dcd/dcas/concepts.hpp"
 #include "dcd/dcas/policies.hpp"
 #include "dcd/dcas/word.hpp"
 #include "dcd/deque/types.hpp"
@@ -33,6 +36,12 @@ namespace dcd::baseline {
 
 template <typename T, dcas::DcasPolicy Dcas = dcas::DefaultDcas>
 class PackedEndsDeque {
+  static_assert(dcas::DcasPolicy<Dcas>,
+                "PackedEndsDeque requires a policy providing both Figure 1 "
+                "DCAS forms (see dcd/dcas/concepts.hpp)");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "values are stored as raw 61-bit word payloads");
+
  public:
   using value_type = T;
   using Codec = deque::ValueCodec<T>;
@@ -131,10 +140,12 @@ class PackedEndsDeque {
     }
   }
 
+  // Quiescent inspection (tests only): acquire pairs with the releasing
+  // DCAS of whichever operation last wrote each cell.
   std::size_t size_unsynchronized() const {
     std::size_t count = 0;
     for (std::size_t i = 0; i < n_; ++i) {
-      if (!dcas::is_null(s_[i].raw.load())) ++count;
+      if (!dcas::is_null(s_[i].raw.load(std::memory_order_acquire))) ++count;
     }
     return count;
   }

@@ -53,6 +53,7 @@
 #include <cstdint>
 #include <string>
 
+#include "dcd/dcas/concepts.hpp"
 #include "dcd/dcas/word.hpp"
 
 namespace dcd::dcas {
@@ -202,10 +203,11 @@ class ChaosController {
 // (mirroring fuzz_replay_test's printed-seed workflow).
 std::uint64_t chaos_seed_from_env(std::uint64_t fallback) noexcept;
 
-// The wrapper policy. Satisfies DcasPolicy whenever Inner does; with no
+// The wrapper policy. Satisfies DcasPolicy whenever Inner does (the
+// constraint rejects non-policies at the instantiation site); with no
 // controller installed every call is a single relaxed load away from the
 // inner policy.
-template <typename Inner>
+template <DcasPolicy Inner>
 class ChaosDcas {
  public:
   static constexpr const char* kName = "chaos";

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "dcd/dcas/telemetry.hpp"
 #include "dcd/util/assert.hpp"
@@ -23,6 +25,20 @@ struct alignas(16) AdjacentPair {
   std::atomic<std::uint64_t> lo{0};
   std::atomic<std::uint64_t> hi{0};
 };
+
+// cmpxchg16b operand contract: the inline asm below addresses the pair as
+// one 16-byte memory operand, so the struct must be exactly two adjacent
+// 64-bit words on a 16-byte boundary with lo at offset 0 (RAX/RBX pair) and
+// hi at offset 8 (RDX/RCX pair) — and each half natively atomic.
+static_assert(sizeof(AdjacentPair) == 16 && alignof(AdjacentPair) == 16,
+              "cmpxchg16b needs a 16-byte-aligned 16-byte operand");
+static_assert(std::is_standard_layout_v<AdjacentPair>,
+              "offsetof below requires standard layout");
+static_assert(offsetof(AdjacentPair, lo) == 0 &&
+                  offsetof(AdjacentPair, hi) == 8,
+              "lo/hi must be adjacent and in asm operand order");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "each half must be a native atomic word");
 
 class Cmpxchg16bDcas {
  public:

@@ -1,34 +1,21 @@
-// Policy concept + the canonical policy list.
+// The canonical policy list, certified against the DcasPolicy concept.
 //
-// A DcasPolicy supplies the two DCAS forms of Figure 1 plus the managed
-// load/initial-store through which all shared-word traffic flows. The deque
-// templates are parameterised on a policy so every algorithm runs unchanged
-// over each emulation — the repo's substitute for "running on DCAS
-// hardware".
+// The concept itself (and the word-layout audit) lives in concepts.hpp so
+// headers can constrain templates without pulling in every emulation; this
+// header is the one place the full policy roster is re-certified whenever
+// any of it changes.
 #pragma once
 
-#include <concepts>
 #include <cstdint>
 
 #include "dcd/dcas/chaos.hpp"
+#include "dcd/dcas/concepts.hpp"
 #include "dcd/dcas/global_lock.hpp"
 #include "dcd/dcas/mcas.hpp"
 #include "dcd/dcas/striped_lock.hpp"
 #include "dcd/dcas/word.hpp"
 
 namespace dcd::dcas {
-
-template <typename P>
-concept DcasPolicy = requires(Word& w, const Word& cw, std::uint64_t v,
-                              std::uint64_t& vr) {
-  { P::kName } -> std::convertible_to<const char*>;
-  { P::kLockFree } -> std::convertible_to<bool>;
-  { P::load(cw) } -> std::same_as<std::uint64_t>;
-  { P::store_init(w, v) };
-  { P::cas(w, v, v) } -> std::same_as<bool>;
-  { P::dcas(w, w, v, v, v, v) } -> std::same_as<bool>;
-  { P::dcas_view(w, w, vr, vr, v, v) } -> std::same_as<bool>;
-};
 
 static_assert(DcasPolicy<GlobalLockDcas>);
 static_assert(DcasPolicy<StripedLockDcas>);

@@ -17,7 +17,7 @@ constexpr std::uint64_t kRdcssMark = 0b01;
 constexpr std::uint64_t kMcasMark = 0b11;
 constexpr std::uint64_t kMarkBits = 0b11;
 
-constexpr bool is_marked(std::uint64_t v) { return (v & kDescriptorBit) != 0; }
+constexpr bool is_marked(std::uint64_t v) { return is_descriptor(v); }
 constexpr bool is_rdcss(std::uint64_t v) { return (v & kMarkBits) == kRdcssMark; }
 constexpr bool is_mcas(std::uint64_t v) { return (v & kMarkBits) == kMcasMark; }
 

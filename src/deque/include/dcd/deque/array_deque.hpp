@@ -31,7 +31,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <type_traits>
 
+#include "dcd/dcas/concepts.hpp"
 #include "dcd/dcas/policies.hpp"
 #include "dcd/dcas/word.hpp"
 #include "dcd/deque/types.hpp"
@@ -45,6 +47,12 @@ namespace dcd::deque {
 template <typename T, dcas::DcasPolicy Dcas = dcas::DefaultDcas,
           ArrayOptions Opt = ArrayOptions{}>
 class ArrayDeque {
+  static_assert(dcas::DcasPolicy<Dcas>,
+                "ArrayDeque requires a policy providing both Figure 1 DCAS "
+                "forms (see dcd/dcas/concepts.hpp)");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "values are stored as raw 61-bit word payloads");
+
  public:
   using value_type = T;
   using Codec = ValueCodec<T>;

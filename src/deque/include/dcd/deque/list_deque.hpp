@@ -26,15 +26,19 @@
 // at SR instead of SL.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
+#include "dcd/dcas/concepts.hpp"
 #include "dcd/dcas/policies.hpp"
 #include "dcd/dcas/word.hpp"
 #include "dcd/deque/types.hpp"
 #include "dcd/deque/value_codec.hpp"
+#include "dcd/reclaim/concepts.hpp"
 #include "dcd/reclaim/node_pool.hpp"
 #include "dcd/reclaim/policies.hpp"
 #include "dcd/util/align.hpp"
@@ -44,8 +48,17 @@
 namespace dcd::deque {
 
 template <typename T, dcas::DcasPolicy Dcas = dcas::DefaultDcas,
-          typename Reclaim = reclaim::EbrReclaim>
+          reclaim::ReclaimPolicy Reclaim = reclaim::EbrReclaim>
 class ListDeque {
+  static_assert(dcas::DcasPolicy<Dcas>,
+                "ListDeque requires a policy providing both Figure 1 DCAS "
+                "forms (see dcd/dcas/concepts.hpp)");
+  static_assert(reclaim::ReclaimPolicy<Reclaim>,
+                "ListDeque requires a Guard/retire/collect reclamation "
+                "policy (see dcd/reclaim/concepts.hpp)");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "values are stored as raw 61-bit word payloads");
+
  public:
   using value_type = T;
   using Codec = ValueCodec<T>;
@@ -68,9 +81,9 @@ class ListDeque {
     // Single-threaded teardown: return every non-sentinel node still in the
     // chain to the pool, then let the reclaimer's destructor force-drain
     // what is in limbo (member destruction order handles the rest).
-    Node* n = dcas::pointer_of<Node>(sl_.right.raw.load());
+    Node* n = dcas::pointer_of<Node>(sl_.right.raw.load(std::memory_order_acquire));
     while (n != &sr_) {
-      Node* next = dcas::pointer_of<Node>(n->right.raw.load());
+      Node* next = dcas::pointer_of<Node>(n->right.raw.load(std::memory_order_acquire));
       pool_.deallocate(n);
       n = next;
     }
@@ -186,15 +199,21 @@ class ListDeque {
   }
 
   // --- quiescent inspection (tests only; not linearizable) ----------------
+  //
+  // These walks (and the teardown walk above) bypass the policy layer on
+  // purpose — a quiescent structure holds no in-flight descriptors to
+  // strip. Acquire suffices: it synchronises with the releasing DCAS of
+  // whatever operation last touched each word, and none of these paths
+  // publish anything.
 
   // Values currently reachable left→right, skipping logically-deleted
   // nodes. Exact only while no operation is in flight.
   std::size_t size_unsynchronized() const {
     std::size_t count = 0;
-    const Node* n = dcas::pointer_of<Node>(sl_.right.raw.load());
+    const Node* n = dcas::pointer_of<Node>(sl_.right.raw.load(std::memory_order_acquire));
     while (n != &sr_) {
-      if (!dcas::is_null(n->value.raw.load())) ++count;
-      n = dcas::pointer_of<Node>(n->right.raw.load());
+      if (!dcas::is_null(n->value.raw.load(std::memory_order_acquire))) ++count;
+      n = dcas::pointer_of<Node>(n->right.raw.load(std::memory_order_acquire));
     }
     return count;
   }
@@ -204,43 +223,43 @@ class ListDeque {
   // sentinels' inward words, and null values exactly where a set bit
   // licenses them.
   bool check_rep_inv_unsynchronized() const {
-    if (sl_.value.raw.load() != dcas::kSentL) return false;
-    if (sr_.value.raw.load() != dcas::kSentR) return false;
+    if (sl_.value.raw.load(std::memory_order_acquire) != dcas::kSentL) return false;
+    if (sr_.value.raw.load(std::memory_order_acquire) != dcas::kSentR) return false;
     std::vector<const Node*> chain;
-    const Node* n = dcas::pointer_of<const Node>(sl_.right.raw.load());
+    const Node* n = dcas::pointer_of<const Node>(sl_.right.raw.load(std::memory_order_acquire));
     std::size_t bound = pool_.capacity() + 2;
     while (n != &sr_) {
       if (n == nullptr || n == &sl_ || chain.size() > bound) return false;
       chain.push_back(n);
-      n = dcas::pointer_of<const Node>(n->right.raw.load());
+      n = dcas::pointer_of<const Node>(n->right.raw.load(std::memory_order_acquire));
     }
     const Node* prev = &sl_;
     for (const Node* c : chain) {
-      const std::uint64_t lw = c->left.raw.load();
+      const std::uint64_t lw = c->left.raw.load(std::memory_order_acquire);
       if (dcas::pointer_of<const Node>(lw) != prev || dcas::deleted_of(lw)) {
         return false;
       }
-      if (dcas::deleted_of(c->right.raw.load())) return false;
+      if (dcas::deleted_of(c->right.raw.load(std::memory_order_acquire))) return false;
       prev = c;
     }
-    if (dcas::pointer_of<const Node>(sr_.left.raw.load()) != prev) {
+    if (dcas::pointer_of<const Node>(sr_.left.raw.load(std::memory_order_acquire)) != prev) {
       return false;
     }
     const bool rdel = right_deleted_bit_unsynchronized();
     const bool ldel = left_deleted_bit_unsynchronized();
     if (rdel && (chain.empty() ||
-                 !dcas::is_null(chain.back()->value.raw.load()))) {
+                 !dcas::is_null(chain.back()->value.raw.load(std::memory_order_acquire)))) {
       return false;
     }
     if (ldel && (chain.empty() ||
-                 !dcas::is_null(chain.front()->value.raw.load()))) {
+                 !dcas::is_null(chain.front()->value.raw.load(std::memory_order_acquire)))) {
       return false;
     }
     if (rdel && ldel && chain.size() < 2) return false;
     for (std::size_t i = 0; i < chain.size(); ++i) {
       const bool licensed =
           (i == 0 && ldel) || (i + 1 == chain.size() && rdel);
-      if (dcas::is_null(chain[i]->value.raw.load()) && !licensed) {
+      if (dcas::is_null(chain[i]->value.raw.load(std::memory_order_acquire)) && !licensed) {
         return false;
       }
     }
@@ -248,17 +267,17 @@ class ListDeque {
   }
 
   bool right_deleted_bit_unsynchronized() const {
-    return dcas::deleted_of(sr_.left.raw.load());
+    return dcas::deleted_of(sr_.left.raw.load(std::memory_order_acquire));
   }
   bool left_deleted_bit_unsynchronized() const {
-    return dcas::deleted_of(sl_.right.raw.load());
+    return dcas::deleted_of(sl_.right.raw.load(std::memory_order_acquire));
   }
   std::size_t chain_length_unsynchronized() const {
     std::size_t count = 0;
-    const Node* n = dcas::pointer_of<Node>(sl_.right.raw.load());
+    const Node* n = dcas::pointer_of<Node>(sl_.right.raw.load(std::memory_order_acquire));
     while (n != &sr_) {
       ++count;
-      n = dcas::pointer_of<Node>(n->right.raw.load());
+      n = dcas::pointer_of<Node>(n->right.raw.load(std::memory_order_acquire));
     }
     return count;
   }
@@ -275,6 +294,8 @@ class ListDeque {
     dcas::Word right;
     dcas::Word value;
   };
+  static_assert(std::is_trivially_destructible_v<Node>,
+                "pool storage is released wholesale, never destroyed");
 
   static std::uint64_t ptr(const Node* n, bool deleted) noexcept {
     return dcas::encode_pointer(n, deleted);

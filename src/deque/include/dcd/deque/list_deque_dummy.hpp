@@ -27,15 +27,19 @@
 // representation differs.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
+#include "dcd/dcas/concepts.hpp"
 #include "dcd/dcas/policies.hpp"
 #include "dcd/dcas/word.hpp"
 #include "dcd/deque/types.hpp"
 #include "dcd/deque/value_codec.hpp"
+#include "dcd/reclaim/concepts.hpp"
 #include "dcd/reclaim/node_pool.hpp"
 #include "dcd/reclaim/policies.hpp"
 #include "dcd/util/align.hpp"
@@ -44,8 +48,17 @@
 namespace dcd::deque {
 
 template <typename T, dcas::DcasPolicy Dcas = dcas::DefaultDcas,
-          typename Reclaim = reclaim::EbrReclaim>
+          reclaim::ReclaimPolicy Reclaim = reclaim::EbrReclaim>
 class ListDequeDummy {
+  static_assert(dcas::DcasPolicy<Dcas>,
+                "ListDequeDummy requires a policy providing both Figure 1 "
+                "DCAS forms (see dcd/dcas/concepts.hpp)");
+  static_assert(reclaim::ReclaimPolicy<Reclaim>,
+                "ListDequeDummy requires a Guard/retire/collect reclamation "
+                "policy (see dcd/reclaim/concepts.hpp)");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "values are stored as raw 61-bit word payloads");
+
  public:
   using value_type = T;
   using Codec = ValueCodec<T>;
@@ -65,12 +78,12 @@ class ListDequeDummy {
     // chain (the walk starts at the leftmost real node, which a left dummy
     // merely points at indirectly). The reclaimer's destructor then drains
     // limbo before the pool dies (member order).
-    Node* n = resolve(sl_.right.raw.load());  // before freeing the dummy —
+    Node* n = resolve(sl_.right.raw.load(std::memory_order_acquire));  // before freeing the dummy —
     // deallocation overwrites its `left` word with a free-list link.
-    if (Node* d = dummy_of(sr_.left.raw.load())) pool_.deallocate(d);
-    if (Node* d = dummy_of(sl_.right.raw.load())) pool_.deallocate(d);
+    if (Node* d = dummy_of(sr_.left.raw.load(std::memory_order_acquire))) pool_.deallocate(d);
+    if (Node* d = dummy_of(sl_.right.raw.load(std::memory_order_acquire))) pool_.deallocate(d);
     while (n != &sr_) {
-      Node* next = dcas::pointer_of<Node>(n->right.raw.load());
+      Node* next = dcas::pointer_of<Node>(n->right.raw.load(std::memory_order_acquire));
       pool_.deallocate(n);
       n = next;
     }
@@ -208,14 +221,18 @@ class ListDequeDummy {
   }
 
   // --- quiescent inspection (tests only) ----------------------------------
+  //
+  // Like ListDeque's: raw acquire loads are sound here because a quiescent
+  // structure holds no in-flight descriptors, and acquire synchronises
+  // with the releasing DCAS of whatever operation last touched each word.
 
   std::size_t size_unsynchronized() const {
     std::size_t count = 0;
-    const Node* n = resolve(sl_.right.raw.load());
+    const Node* n = resolve(sl_.right.raw.load(std::memory_order_acquire));
     while (n != &sr_) {
-      const std::uint64_t v = n->value.raw.load();
+      const std::uint64_t v = n->value.raw.load(std::memory_order_acquire);
       if (!dcas::is_null(v) && v != dcas::kDummy) ++count;
-      n = dcas::pointer_of<const Node>(n->right.raw.load());
+      n = dcas::pointer_of<const Node>(n->right.raw.load(std::memory_order_acquire));
     }
     return count;
   }
@@ -225,43 +242,43 @@ class ListDequeDummy {
   // only at sentinel level and target the adjacent chain end; null values
   // appear exactly where a dummy licenses them.
   bool check_rep_inv_unsynchronized() const {
-    if (sl_.value.raw.load() != dcas::kSentL) return false;
-    if (sr_.value.raw.load() != dcas::kSentR) return false;
-    const Node* left_dummy = dummy_of(sl_.right.raw.load());
-    const Node* right_dummy = dummy_of(sr_.left.raw.load());
+    if (sl_.value.raw.load(std::memory_order_acquire) != dcas::kSentL) return false;
+    if (sr_.value.raw.load(std::memory_order_acquire) != dcas::kSentR) return false;
+    const Node* left_dummy = dummy_of(sl_.right.raw.load(std::memory_order_acquire));
+    const Node* right_dummy = dummy_of(sr_.left.raw.load(std::memory_order_acquire));
     std::vector<const Node*> chain;
-    const Node* n = resolve(sl_.right.raw.load());
+    const Node* n = resolve(sl_.right.raw.load(std::memory_order_acquire));
     const std::size_t bound = pool_.capacity() + 2;
     while (n != &sr_) {
       if (n == nullptr || n == &sl_ || chain.size() > bound) return false;
       if (is_dummy(n)) return false;  // dummies never sit in the chain
       chain.push_back(n);
-      n = dcas::pointer_of<const Node>(n->right.raw.load());
+      n = dcas::pointer_of<const Node>(n->right.raw.load(std::memory_order_acquire));
     }
     const Node* prev = &sl_;
     for (const Node* c : chain) {
-      if (dcas::pointer_of<const Node>(c->left.raw.load()) != prev) {
+      if (dcas::pointer_of<const Node>(c->left.raw.load(std::memory_order_acquire)) != prev) {
         return false;
       }
       prev = c;
     }
-    if (resolve(sr_.left.raw.load()) != (chain.empty() ? &sl_ : prev)) {
+    if (resolve(sr_.left.raw.load(std::memory_order_acquire)) != (chain.empty() ? &sl_ : prev)) {
       return false;
     }
     // A dummy must target the adjacent chain end, which must be null.
     if (right_dummy != nullptr) {
       if (chain.empty() ||
-          dcas::pointer_of<const Node>(right_dummy->left.raw.load()) !=
+          dcas::pointer_of<const Node>(right_dummy->left.raw.load(std::memory_order_acquire)) !=
               chain.back() ||
-          !dcas::is_null(chain.back()->value.raw.load())) {
+          !dcas::is_null(chain.back()->value.raw.load(std::memory_order_acquire))) {
         return false;
       }
     }
     if (left_dummy != nullptr) {
       if (chain.empty() ||
-          dcas::pointer_of<const Node>(left_dummy->left.raw.load()) !=
+          dcas::pointer_of<const Node>(left_dummy->left.raw.load(std::memory_order_acquire)) !=
               chain.front() ||
-          !dcas::is_null(chain.front()->value.raw.load())) {
+          !dcas::is_null(chain.front()->value.raw.load(std::memory_order_acquire))) {
         return false;
       }
     }
@@ -271,7 +288,7 @@ class ListDequeDummy {
     for (std::size_t i = 0; i < chain.size(); ++i) {
       const bool licensed = (i == 0 && left_dummy != nullptr) ||
                             (i + 1 == chain.size() && right_dummy != nullptr);
-      const std::uint64_t v = chain[i]->value.raw.load();
+      const std::uint64_t v = chain[i]->value.raw.load(std::memory_order_acquire);
       if (v == dcas::kDummy) return false;
       if (dcas::is_null(v) && !licensed) return false;
     }
@@ -279,10 +296,10 @@ class ListDequeDummy {
   }
 
   bool right_dummy_unsynchronized() const {
-    return dummy_of(sr_.left.raw.load()) != nullptr;
+    return dummy_of(sr_.left.raw.load(std::memory_order_acquire)) != nullptr;
   }
   bool left_dummy_unsynchronized() const {
-    return dummy_of(sl_.right.raw.load()) != nullptr;
+    return dummy_of(sl_.right.raw.load(std::memory_order_acquire)) != nullptr;
   }
 
   const reclaim::NodePool& pool() const noexcept { return pool_; }
@@ -294,6 +311,8 @@ class ListDequeDummy {
     dcas::Word right;
     dcas::Word value;  // dummies: kDummy
   };
+  static_assert(std::is_trivially_destructible_v<Node>,
+                "pool storage is released wholesale, never destroyed");
 
   static std::uint64_t ptr(const Node* n) noexcept {
     return dcas::encode_pointer(n, /*deleted=*/false);
@@ -312,7 +331,7 @@ class ListDequeDummy {
   const Node* resolve(std::uint64_t word) const {
     auto* n = dcas::pointer_of<const Node>(word);
     if (n != nullptr && n != &sl_ && n != &sr_ && is_dummy(n)) {
-      return dcas::pointer_of<const Node>(n->left.raw.load());
+      return dcas::pointer_of<const Node>(n->left.raw.load(std::memory_order_acquire));
     }
     return n;
   }
@@ -321,7 +340,7 @@ class ListDequeDummy {
         static_cast<const ListDequeDummy*>(this)->resolve(word));
   }
   static Node* target_of(const dcas::Word& w) {
-    return dcas::pointer_of<Node>(w.raw.load());
+    return dcas::pointer_of<Node>(w.raw.load(std::memory_order_acquire));
   }
 
   // Figure 17 with the dummy encoding: SR->L == D(dummy->X) plays the role

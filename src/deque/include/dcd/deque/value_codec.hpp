@@ -15,6 +15,15 @@
 
 namespace dcd::deque {
 
+// Tag-bit headroom the codecs below assume (the full word-layout audit
+// lives in dcd/dcas/concepts.hpp): three reserved low bits, so the pointer
+// codec can fold an 8-aligned pointer's zero bits into the payload shift,
+// and the zig-zag codec has kMaxPayload == 2^61 - 1 of signed headroom.
+static_assert(dcas::kPayloadShift == 3,
+              "pointer codec folds 8-alignment into the payload shift");
+static_assert(dcas::kMaxPayload == (1ull << 61) - 1,
+              "codecs size their range checks to 61 payload bits");
+
 template <typename T>
 struct ValueCodec;  // specialise for storable types
 

@@ -1,0 +1,44 @@
+// Compile-time contracts for the reclamation layer.
+//
+// The paper assumes GC (§2); the list deques substitute a pluggable policy.
+// ReclaimPolicy pins the surface the deques consume — an RAII Guard pinned
+// for an operation's whole duration, retire() for nodes that have been
+// physically unlinked, and collect() for prompt best-effort reclamation in
+// tests — so a policy that silently drops part of the contract (say, a
+// Guard that is not constructible from the policy, leaving operations
+// unpinned) fails at the instantiation site instead of as a use-after-free
+// under load.
+//
+// LfrcManaged captures the object contract of the LFRC methodology ([12]):
+// a count word named `rc` managed through the policy layer, and a
+// lfrc_dispose() hook that drops outgoing references and frees storage.
+#pragma once
+
+#include <concepts>
+#include <type_traits>
+
+#include "dcd/dcas/word.hpp"
+#include "dcd/reclaim/node_pool.hpp"
+
+namespace dcd::reclaim {
+
+template <typename R>
+concept ReclaimPolicy = requires(R r, void* node, NodePool& pool) {
+  { R::kName } -> std::convertible_to<const char*>;
+  typename R::Guard;
+  requires std::is_constructible_v<typename R::Guard, R&>;
+  requires !std::is_copy_constructible_v<R>;  // a policy owns limbo state
+  { r.retire(node, pool) };
+  { r.collect() };
+};
+
+// Objects reclaimed purely by lock-free reference counting. The count word
+// must be the object's first member so a stale LFRC load that probes
+// recycled storage lands on a Word, never on arbitrary payload bytes.
+template <typename T>
+concept LfrcManaged = requires(T t) {
+  { t.rc } -> std::convertible_to<const dcas::Word&>;
+  { t.lfrc_dispose() };
+};
+
+}  // namespace dcd::reclaim

@@ -36,8 +36,10 @@
 #include <type_traits>
 #include <utility>
 
+#include "dcd/dcas/concepts.hpp"
 #include "dcd/dcas/policies.hpp"
 #include "dcd/dcas/word.hpp"
+#include "dcd/reclaim/concepts.hpp"
 #include "dcd/reclaim/tagged_pool.hpp"
 #include "dcd/util/assert.hpp"
 #include "dcd/util/sanitizer.hpp"
@@ -50,6 +52,10 @@ namespace dcd::reclaim {
 //   8-aligned allocation (pointers stored raw in slots).
 template <typename T, dcas::DcasPolicy P = dcas::DefaultDcas>
 class Lfrc {
+  static_assert(LfrcManaged<T>,
+                "LFRC-managed objects need a `dcas::Word rc` count word and "
+                "an lfrc_dispose() hook (see dcd/reclaim/concepts.hpp)");
+
  public:
   static std::uint64_t encode(T* p) noexcept {
     return reinterpret_cast<std::uint64_t>(p);

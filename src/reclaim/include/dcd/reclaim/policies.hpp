@@ -6,6 +6,7 @@
 // (called once a node has been physically unlinked).
 #pragma once
 
+#include "dcd/reclaim/concepts.hpp"
 #include "dcd/reclaim/ebr.hpp"
 #include "dcd/reclaim/node_pool.hpp"
 
@@ -47,6 +48,10 @@ class LeakyReclaim {
  public:
   static constexpr const char* kName = "leaky";
 
+  LeakyReclaim() = default;
+  LeakyReclaim(const LeakyReclaim&) = delete;
+  LeakyReclaim& operator=(const LeakyReclaim&) = delete;
+
   class Guard {
    public:
     explicit Guard(LeakyReclaim&) {}
@@ -59,5 +64,10 @@ class LeakyReclaim {
 
   void collect() {}
 };
+
+// Re-certify the roster whenever any policy changes (mirrors the DcasPolicy
+// static_asserts in dcd/dcas/policies.hpp).
+static_assert(ReclaimPolicy<EbrReclaim>);
+static_assert(ReclaimPolicy<LeakyReclaim>);
 
 }  // namespace dcd::reclaim

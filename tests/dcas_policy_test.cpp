@@ -20,6 +20,10 @@ using Policies =
     ::testing::Types<GlobalLockDcas, StripedLockDcas, McasDcas>;
 TYPED_TEST_SUITE(DcasPolicyTest, Policies);
 
+// Everything this suite exercises must satisfy the policy contract.
+static_assert(DcasPolicy<GlobalLockDcas> && DcasPolicy<StripedLockDcas> &&
+              DcasPolicy<McasDcas>);
+
 // Payload helper: clean user values (low 3 bits clear).
 constexpr std::uint64_t val(std::uint64_t x) { return encode_payload(x); }
 

@@ -57,6 +57,60 @@ TEST(Codec, PointerRoundTrip) {
   EXPECT_EQ(C::decode(C::encode(static_cast<double*>(nullptr))), nullptr);
 }
 
+TEST(Codec, UnsignedMaxPayloadIsStorableAndOverflowDies) {
+  using C = ValueCodec<std::uint64_t>;
+  // The largest storable value uses every payload bit...
+  EXPECT_EQ(C::decode(C::encode(dw::kMaxPayload)), dw::kMaxPayload);
+  EXPECT_FALSE(dw::is_special(C::encode(dw::kMaxPayload)));
+  // ...and one past it would spill into the reserved tag bits.
+  EXPECT_DEATH(C::encode(dw::kMaxPayload + 1), "dcd assertion failed");
+}
+
+TEST(Codec, SignedZigZagExtremesAndOverflowDies) {
+  using C = ValueCodec<std::int64_t>;
+  // Zig-zag headroom: v in [-2^60, 2^60 - 1] fits kMaxPayload exactly.
+  constexpr std::int64_t kMax = (1ll << 60) - 1;
+  constexpr std::int64_t kMin = -(1ll << 60);
+  EXPECT_EQ(C::decode(C::encode(kMax)), kMax);
+  EXPECT_EQ(C::decode(C::encode(kMin)), kMin);
+  EXPECT_EQ(C::encode(kMin) & 0x7u, 0u);
+  EXPECT_DEATH(C::encode(kMax + 1), "dcd assertion failed");
+  EXPECT_DEATH(C::encode(kMin - 1), "dcd assertion failed");
+}
+
+TEST(Codec, MisalignedPointerRejected) {
+  using C = ValueCodec<std::uint8_t*>;
+  alignas(8) static std::uint8_t buf[16] = {};
+  EXPECT_EQ(C::decode(C::encode(&buf[0])), &buf[0]);
+  EXPECT_EQ(C::decode(C::encode(&buf[8])), &buf[8]);
+  for (std::size_t off : {1u, 2u, 4u, 7u}) {
+    EXPECT_DEATH(C::encode(&buf[off]), "dcd assertion failed");
+  }
+}
+
+TEST(Codec, SentinelEncodingsRoundTripThroughPayloadHelpers) {
+  // The specials are special-flagged payloads 0..3 — stable indices the
+  // engine relies on, recoverable via decode_payload.
+  EXPECT_EQ(dw::decode_payload(dw::kNull), 0u);
+  EXPECT_EQ(dw::decode_payload(dw::kSentL), 1u);
+  EXPECT_EQ(dw::decode_payload(dw::kSentR), 2u);
+  EXPECT_EQ(dw::decode_payload(dw::kDummy), 3u);
+  for (std::uint64_t s : {dw::kNull, dw::kSentL, dw::kSentR, dw::kDummy}) {
+    EXPECT_TRUE(dw::is_special(s));
+    EXPECT_FALSE(dw::is_descriptor(s));
+    // Rebuilding the special from its payload index restores the word
+    // (kNull is the payload-0 special, i.e. the bare special flag).
+    EXPECT_EQ(dw::encode_payload(dw::decode_payload(s)) | dw::kNull, s);
+  }
+  // The three paper specials plus kDummy are pairwise distinct.
+  EXPECT_NE(dw::kNull, dw::kSentL);
+  EXPECT_NE(dw::kNull, dw::kSentR);
+  EXPECT_NE(dw::kSentL, dw::kSentR);
+  EXPECT_NE(dw::kDummy, dw::kNull);
+  EXPECT_NE(dw::kDummy, dw::kSentL);
+  EXPECT_NE(dw::kDummy, dw::kSentR);
+}
+
 TEST(Codec, EncodedValuesNeverCollideWithSpecials) {
   for (std::uint64_t v = 0; v < 1024; ++v) {
     const std::uint64_t w = ValueCodec<std::uint64_t>::encode(v);

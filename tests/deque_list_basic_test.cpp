@@ -19,6 +19,8 @@ template <typename P, typename R>
 struct Cfg {
   using Policy = P;
   using Reclaim = R;
+  static_assert(dcd::dcas::DcasPolicy<P>);
+  static_assert(dcd::reclaim::ReclaimPolicy<R>);
 };
 
 template <typename C>

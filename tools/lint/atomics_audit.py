@@ -1,0 +1,534 @@
+#!/usr/bin/env python3
+"""Concurrency-hygiene auditor for the dcd source tree.
+
+Walks src/ and flags patterns that the repo's correctness argument cannot
+tolerate appearing silently (see tools/lint/README.md and
+docs/STATIC_ANALYSIS.md for the rationale behind each rule):
+
+  implicit-seq-cst        an atomic .load()/.store()/RMW call without an
+                          explicit std::memory_order argument
+  raw-new-delete          a new/delete expression inside reclaim-managed
+                          paths (src/deque/, src/reclaim/)
+  unjustified-nosanitize  DCD_NO_SANITIZE_THREAD / DCD_NO_SANITIZE_ADDRESS
+                          without an adjacent justification comment
+  tag-bits-outside-word   reserved-bit constants (kDescriptorBit etc.)
+                          manipulated outside dcd/dcas/word.hpp
+
+Findings can be suppressed via atomics_audit.suppressions (same directory);
+every suppression must carry a one-line justification after `#`.
+
+Exit codes: 0 clean, 1 findings, 2 configuration/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import dataclasses
+import io
+import pathlib
+import re
+import sys
+
+# --- configuration ---------------------------------------------------------
+
+SOURCE_EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
+
+# Directories (relative to --root) the audit walks.
+AUDIT_DIRS = ["src"]
+
+# Atomic member calls that default to seq_cst when no order is passed.
+ATOMIC_OPS = (
+    "load",
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+    "test_and_set",
+)
+
+# Paths whose node lifetimes are owned by the reclamation layer; a raw
+# new/delete there bypasses EBR grace periods / pool type-stability.
+RECLAIM_MANAGED_DIRS = ("src/deque/", "src/reclaim/")
+
+NOSANITIZE_MACROS = ("DCD_NO_SANITIZE_THREAD", "DCD_NO_SANITIZE_ADDRESS")
+# A justification comment must appear on the macro's line or within this
+# many lines above it.
+NOSANITIZE_COMMENT_WINDOW = 5
+
+TAG_BIT_TOKENS = ("kDescriptorBit", "kDeletedBit", "kSpecialBit",
+                  "kPayloadShift")
+# The single file allowed to do reserved-bit arithmetic. Everything else —
+# including the compile-time audit layer — needs a justified suppression.
+TAG_BIT_HOME = "src/dcas/include/dcd/dcas/word.hpp"
+
+RULE_IDS = (
+    "implicit-seq-cst",
+    "raw-new-delete",
+    "unjustified-nosanitize",
+    "tag-bits-outside-word",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+    line_text: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.rule}] {self.message}\n"
+                f"    {self.line_text.strip()}")
+
+
+@dataclasses.dataclass
+class Suppression:
+    path_suffix: str
+    rule: str
+    substring: str
+    justification: str
+    source_line: int
+    used: bool = False
+
+    def matches(self, f: Finding) -> bool:
+        if not (f.path.endswith(self.path_suffix) and f.rule == self.rule):
+            return False
+        # `*` suppresses the rule for the whole file (for files whose very
+        # purpose is the flagged pattern, e.g. the compile-time audit layer).
+        return self.substring == "*" or self.substring in f.line_text
+
+
+# --- source masking --------------------------------------------------------
+
+def mask_comments_and_strings(text: str) -> str:
+    """Replace comment and string-literal contents with spaces.
+
+    Preserves length and newlines so offsets/line numbers stay valid.
+    Handles //, /* */, "..." and '...' with escapes; raw strings are rare
+    in this codebase and treated as plain strings (good enough: their
+    contents are masked until the closing quote).
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE, BLOCK, DQ, SQ = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = DQ
+                i += 1
+                continue
+            if c == "'":
+                state = SQ
+                i += 1
+                continue
+        elif state == LINE:
+            if c == "\n":
+                state = NORMAL
+            else:
+                out[i] = " "
+        elif state == BLOCK:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+        elif state in (DQ, SQ):
+            quote = '"' if state == DQ else "'"
+            if c == "\\" and nxt:
+                out[i] = " "
+                if nxt != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def line_text_at(lines: list[str], lineno: int) -> str:
+    return lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+
+
+def extract_call_args(masked: str, open_paren: int) -> str | None:
+    """Return the text between balanced parens starting at open_paren."""
+    depth = 0
+    for j in range(open_paren, len(masked)):
+        c = masked[j]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return masked[open_paren + 1:j]
+    return None  # unbalanced (truncated file); caller skips
+
+
+# --- rules -----------------------------------------------------------------
+
+ATOMIC_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(" + "|".join(ATOMIC_OPS) + r")\s*(\()")
+
+
+def check_implicit_seq_cst(path: str, text: str, masked: str,
+                           lines: list[str]) -> list[Finding]:
+    findings = []
+    for m in ATOMIC_CALL_RE.finditer(masked):
+        op = m.group(1)
+        args = extract_call_args(masked, m.start(2))
+        if args is None:
+            continue
+        if "memory_order" in args:
+            continue
+        lineno = line_of(masked, m.start())
+        findings.append(Finding(
+            path, lineno, "implicit-seq-cst",
+            f".{op}() without an explicit std::memory_order "
+            "(implicit seq_cst — state the order you need and why)",
+            line_text_at(lines, lineno)))
+    return findings
+
+
+NEW_DELETE_RE = re.compile(r"\b(new|delete)\b")
+
+
+def check_raw_new_delete(path: str, text: str, masked: str,
+                         lines: list[str]) -> list[Finding]:
+    if not any(d in path for d in
+               (p.rstrip("/") + "/" for p in RECLAIM_MANAGED_DIRS)):
+        return []
+    findings = []
+    for m in NEW_DELETE_RE.finditer(masked):
+        kw = m.group(1)
+        before = masked[:m.start()].rstrip()
+        # `= delete;` / `= delete ;` — deleted special member, not the
+        # expression.
+        if kw == "delete" and before.endswith("="):
+            continue
+        lineno = line_of(masked, m.start())
+        # Preprocessor lines (e.g. `#include <new>`) are not expressions.
+        if line_text_at(lines, lineno).lstrip().startswith("#"):
+            continue
+        findings.append(Finding(
+            path, lineno, "raw-new-delete",
+            f"`{kw}` inside a reclaim-managed path — node lifetimes here "
+            "belong to NodePool/EBR (grace periods, type-stability)",
+            line_text_at(lines, lineno)))
+    return findings
+
+
+def check_unjustified_nosanitize(path: str, text: str, masked: str,
+                                 lines: list[str]) -> list[Finding]:
+    findings = []
+    for i, line in enumerate(lines, start=1):
+        if not any(macro in line for macro in NOSANITIZE_MACROS):
+            continue
+        stripped = line.lstrip()
+        # The definition site (sanitizer.hpp) is not a use.
+        if stripped.startswith(("#define", "#undef", "#if", "#ifdef",
+                                "#ifndef", "#elif")):
+            continue
+        window = lines[max(0, i - 1 - NOSANITIZE_COMMENT_WINDOW):i]
+        if any("//" in w or "/*" in w or "*/" in w for w in window):
+            continue
+        macro = next(m for m in NOSANITIZE_MACROS if m in line)
+        findings.append(Finding(
+            path, i, "unjustified-nosanitize",
+            f"{macro} without an adjacent justification comment (within "
+            f"{NOSANITIZE_COMMENT_WINDOW} lines) — say which benign race "
+            "this blesses and why it is benign",
+            line))
+    return findings
+
+
+TAG_BIT_RE = re.compile(r"\b(" + "|".join(TAG_BIT_TOKENS) + r")\b")
+
+
+def check_tag_bits_outside_word(path: str, text: str, masked: str,
+                                lines: list[str]) -> list[Finding]:
+    if path == TAG_BIT_HOME:
+        return []
+    findings = []
+    for m in TAG_BIT_RE.finditer(masked):
+        lineno = line_of(masked, m.start())
+        findings.append(Finding(
+            path, lineno, "tag-bits-outside-word",
+            f"reserved-bit constant {m.group(1)} used outside word.hpp — "
+            "encode/decode through word.hpp helpers so the bit layout has "
+            "one owner",
+            line_text_at(lines, lineno)))
+    return findings
+
+
+CHECKS = (
+    check_implicit_seq_cst,
+    check_raw_new_delete,
+    check_unjustified_nosanitize,
+    check_tag_bits_outside_word,
+)
+
+
+def audit_text(path: str, text: str) -> list[Finding]:
+    masked = mask_comments_and_strings(text)
+    lines = text.splitlines()
+    findings: list[Finding] = []
+    for check in CHECKS:
+        findings.extend(check(path, text, masked, lines))
+    return findings
+
+
+# --- suppressions ----------------------------------------------------------
+
+def config_error(message: str):
+    print(message, file=sys.stderr)
+    raise SystemExit(2)
+
+
+def parse_suppressions(text: str, origin: str) -> list[Suppression]:
+    """Format, one per line:  <path-suffix> : <rule> : <substring>  # why
+
+    Blank lines and lines starting with # are comments. A suppression
+    without a justification is a configuration error (exit 2).
+    """
+    sups = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        matcher, sep, justification = line.partition("#")
+        justification = justification.strip()
+        if not sep or not justification:
+            config_error(
+                f"{origin}:{lineno}: suppression lacks a justification "
+                "(append `# <one-line reason>`)")
+        # Split only on whitespace-flanked colons so substrings may contain
+        # C++ scope operators (`dcas::kPayloadShift`).
+        parts = [p.strip() for p in re.split(r"\s+:\s+", matcher.strip(),
+                                             maxsplit=2)]
+        if len(parts) != 3 or not all(parts):
+            config_error(
+                f"{origin}:{lineno}: expected `<path-suffix> : <rule> : "
+                f"<substring>  # <reason>`, got: {line}")
+        path_suffix, rule, substring = parts
+        if rule not in RULE_IDS:
+            config_error(
+                f"{origin}:{lineno}: unknown rule id '{rule}' "
+                f"(known: {', '.join(RULE_IDS)})")
+        sups.append(Suppression(path_suffix, rule, substring, justification,
+                                lineno))
+    return sups
+
+
+def apply_suppressions(findings: list[Finding],
+                       sups: list[Suppression]) -> list[Finding]:
+    remaining = []
+    for f in findings:
+        hit = next((s for s in sups if s.matches(f)), None)
+        if hit is not None:
+            hit.used = True
+        else:
+            remaining.append(f)
+    return remaining
+
+
+# --- driver ----------------------------------------------------------------
+
+def collect_files(root: pathlib.Path) -> list[pathlib.Path]:
+    files = []
+    for d in AUDIT_DIRS:
+        base = root / d
+        if not base.is_dir():
+            config_error(f"audit directory missing: {base}")
+        files.extend(p for p in sorted(base.rglob("*"))
+                     if p.suffix in SOURCE_EXTENSIONS and p.is_file())
+    return files
+
+
+def run_audit(root: pathlib.Path, suppression_path: pathlib.Path,
+              verbose: bool) -> int:
+    sups: list[Suppression] = []
+    if suppression_path.is_file():
+        sups = parse_suppressions(suppression_path.read_text(),
+                                  str(suppression_path))
+    findings: list[Finding] = []
+    files = collect_files(root)
+    for p in files:
+        rel = p.relative_to(root).as_posix()
+        findings.extend(audit_text(rel, p.read_text()))
+    total = len(findings)
+    findings = apply_suppressions(findings, sups)
+    for f in findings:
+        print(f.render())
+    for s in sups:
+        if not s.used:
+            print(f"warning: unused suppression "
+                  f"({suppression_path.name}:{s.source_line}): "
+                  f"{s.path_suffix} : {s.rule} : {s.substring}",
+                  file=sys.stderr)
+    if verbose or findings:
+        print(f"atomics_audit: {len(files)} files, {total} raw findings, "
+              f"{total - len(findings)} suppressed, "
+              f"{len(findings)} reported", file=sys.stderr)
+    return 1 if findings else 0
+
+
+# --- self test -------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (path, source, expected rule ids)
+    ("src/deque/include/bad_atomic.hpp",
+     "void f(std::atomic<int>& a) {\n"
+     "  a.load();\n"
+     "  a.store(1);\n"
+     "  a.fetch_add(2, std::memory_order_relaxed);\n"
+     "}\n",
+     ["implicit-seq-cst", "implicit-seq-cst"]),
+    ("src/deque/include/multiline.hpp",
+     "bool g(std::atomic<long>& a, long& e) {\n"
+     "  return a.compare_exchange_strong(\n"
+     "      e, 42,\n"
+     "      std::memory_order_acq_rel);\n"
+     "}\n"
+     "long h(std::atomic<long>& a) {\n"
+     "  return a.load(\n"
+     "  );\n"
+     "}\n",
+     ["implicit-seq-cst"]),
+    ("src/deque/include/masked.hpp",
+     "// a.load() in a comment is fine\n"
+     "/* so is a.store(1) here */\n"
+     "const char* s = \"x.load()\";\n",
+     []),
+    ("src/reclaim/include/bad_new.hpp",
+     "struct S { S(const S&) = delete; };\n"
+     "void f() {\n"
+     "  auto* n = new S();\n"
+     "  delete n;\n"
+     "}\n",
+     ["raw-new-delete", "raw-new-delete"]),
+    ("src/util/include/ok_new.hpp",
+     "void f() { auto* p = new int; delete p; }\n",
+     []),  # outside reclaim-managed dirs
+    ("src/util/include/bad_nosan.hpp",
+     "DCD_NO_SANITIZE_THREAD\n"
+     "void naked() {}\n"
+     "\n"
+     "// LFRC re-init of recycled headers: stale readers discard the value\n"
+     "// via a failed validation DCAS, so the overlap is benign.\n"
+     "DCD_NO_SANITIZE_ADDRESS\n"
+     "void justified() {}\n",
+     ["unjustified-nosanitize"]),
+    ("src/dcas/include/bad_bits.hpp",
+     "bool weird(std::uint64_t w) {\n"
+     "  return (w & kDeletedBit) != 0;\n"
+     "}\n",
+     ["tag-bits-outside-word"]),
+    ("src/dcas/include/dcd/dcas/word.hpp",
+     "inline constexpr std::uint64_t kDeletedBit = 1ull << 1;\n",
+     []),  # the one allowed home
+]
+
+
+def self_test() -> int:
+    failures = []
+    for path, source, expected in SELF_TEST_CASES:
+        got = [f.rule for f in audit_text(path, source)]
+        if sorted(got) != sorted(expected):
+            failures.append(f"{path}: expected {expected}, got {got}")
+
+    # Suppressions: a justified entry suppresses, and is marked used.
+    findings = audit_text("src/deque/include/bad_atomic.hpp",
+                          "void f(std::atomic<int>& a) { a.load(); }\n")
+    sups = parse_suppressions(
+        "bad_atomic.hpp : implicit-seq-cst : a.load  # quiescent test hook\n",
+        "<selftest>")
+    left = apply_suppressions(findings, sups)
+    if left or not sups[0].used:
+        failures.append("justified suppression did not apply")
+
+    # A suppression without a justification must be rejected (exit 2; the
+    # diagnostic itself is swallowed — it is the expected outcome here).
+    try:
+        with contextlib.redirect_stderr(io.StringIO()):
+            parse_suppressions("x.hpp : implicit-seq-cst : foo\n",
+                               "<selftest>")
+        failures.append("missing justification was accepted")
+    except SystemExit as e:
+        if e.code != 2:
+            failures.append("config error must exit 2")
+
+    # An unrelated suppression must not hide the finding.
+    sups = parse_suppressions(
+        "other.hpp : implicit-seq-cst : a.load  # wrong file\n", "<selftest>")
+    if not apply_suppressions(findings, sups):
+        failures.append("unrelated suppression hid a finding")
+
+    # `*` suppresses the whole file for one rule — and only that rule.
+    bits = audit_text("src/dcas/include/audit_layer.hpp",
+                      "static_assert((x & kDeletedBit) == 0);\n"
+                      "void f(std::atomic<int>& a) { a.load(); }\n")
+    sups = parse_suppressions(
+        "audit_layer.hpp : tag-bits-outside-word : *  # audit layer\n",
+        "<selftest>")
+    left = apply_suppressions(bits, sups)
+    if [f.rule for f in left] != ["implicit-seq-cst"]:
+        failures.append("wildcard suppression scope wrong")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"self-test OK ({len(SELF_TEST_CASES)} seeded cases)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2],
+                    help="repo root (default: two levels up from this file)")
+    ap.add_argument("--suppressions", type=pathlib.Path, default=None,
+                    help="suppression file (default: atomics_audit."
+                         "suppressions next to this script)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the seeded-violation self test and exit")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    sup = (args.suppressions if args.suppressions is not None else
+           pathlib.Path(__file__).resolve().parent /
+           "atomics_audit.suppressions")
+    return run_audit(args.root.resolve(), sup, args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
