@@ -12,6 +12,7 @@
 #include "dcd/dcas/concepts.hpp"
 #include "dcd/dcas/global_lock.hpp"
 #include "dcd/dcas/mcas.hpp"
+#include "dcd/dcas/sched.hpp"
 #include "dcd/dcas/striped_lock.hpp"
 #include "dcd/dcas/word.hpp"
 
@@ -25,6 +26,10 @@ static_assert(DcasPolicy<McasDcas>);
 static_assert(DcasPolicy<ChaosDcas<GlobalLockDcas>>);
 static_assert(DcasPolicy<ChaosDcas<StripedLockDcas>>);
 static_assert(DcasPolicy<ChaosDcas<McasDcas>>);
+// The model checker's deterministic-scheduling wrapper (sched.hpp) is a
+// policy over any policy, same as the fault-injection wrapper.
+static_assert(DcasPolicy<SchedDcas>);
+static_assert(DcasPolicy<SchedDcasT<McasDcas>>);
 
 // Default policy for user-facing typedefs: the lock-free emulation, which
 // preserves the paper's progress guarantee end-to-end.

@@ -96,4 +96,12 @@ constexpr bool deleted_of(std::uint64_t word) noexcept {
   return (word & kDeletedBit) != 0;
 }
 
+// Strips the deleted bit from a pointer word (leaving the address and any
+// other reserved bits untouched). The mutation-injection layer of the model
+// checker uses this to express "this DCAS forgot to set the deleted bit"
+// without doing reserved-bit arithmetic outside this header.
+constexpr std::uint64_t clear_deleted(std::uint64_t word) noexcept {
+  return word & ~kDeletedBit;
+}
+
 }  // namespace dcd::dcas

@@ -1,0 +1,45 @@
+#include "dcd/dcas/sched.hpp"
+
+#include "dcd/util/assert.hpp"
+
+namespace dcd::dcas {
+
+namespace {
+// Acquire/release pair: a model thread that observes the client also
+// observes the scheduler state the installer set up before installing.
+std::atomic<SchedClient*> g_client{nullptr};
+}  // namespace
+
+const char* access_kind_name(AccessKind k) noexcept {
+  switch (k) {
+    case AccessKind::kLoad: return "load";
+    case AccessKind::kCas: return "cas";
+    case AccessKind::kDcas: return "dcas";
+    case AccessKind::kDcasView: return "dcas_view";
+  }
+  return "?";
+}
+
+SchedClient* sched_client() noexcept {
+  return g_client.load(std::memory_order_acquire);
+}
+
+void install_sched_client(SchedClient* client) noexcept {
+  DCD_ASSERT(client != nullptr);
+  SchedClient* expected = nullptr;
+  const bool installed = g_client.compare_exchange_strong(
+      expected, client, std::memory_order_acq_rel, std::memory_order_acquire);
+  DCD_ASSERT(installed && "only one SchedClient may be installed");
+  (void)installed;
+}
+
+void uninstall_sched_client(SchedClient* client) noexcept {
+  SchedClient* expected = client;
+  const bool removed = g_client.compare_exchange_strong(
+      expected, nullptr, std::memory_order_acq_rel,
+      std::memory_order_acquire);
+  DCD_ASSERT(removed && "uninstall must match the installed SchedClient");
+  (void)removed;
+}
+
+}  // namespace dcd::dcas

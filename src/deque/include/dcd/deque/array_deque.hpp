@@ -254,6 +254,24 @@ class ArrayDeque {
     return dcas::is_null(Dcas::load(s_[i]));
   }
 
+  // Structural snapshot for verify::RepAuditor. Same quiescence caveat as
+  // the checks above; the model checker additionally calls this at explored
+  // states, where it is exact because every model thread is parked *before*
+  // its next access (no step is half-done).
+  ArrayRepView rep_view_unsynchronized() const {
+    ArrayRepView view;
+    view.n = n_;
+    view.l = left_index_unsynchronized();
+    view.r = right_index_unsynchronized();
+    view.cell_null.resize(n_);
+    view.cells.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      view.cells[i] = Dcas::load(s_[i]);
+      view.cell_null[i] = dcas::is_null(view.cells[i]);
+    }
+    return view;
+  }
+
  private:
   static std::uint64_t idx(std::size_t i) noexcept {
     return dcas::encode_payload(static_cast<std::uint64_t>(i));

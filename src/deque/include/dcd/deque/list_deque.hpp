@@ -282,6 +282,54 @@ class ListDeque {
     return count;
   }
 
+  // Structural snapshot for verify::RepAuditor. Same quiescence caveat as
+  // the walks above; the model checker additionally calls this at explored
+  // states, where it is exact because every model thread is parked *before*
+  // its next access (no step is half-done).
+  ListRepView rep_view_unsynchronized() const {
+    ListRepView view;
+    view.sentinel_values_ok =
+        sl_.value.raw.load(std::memory_order_acquire) == dcas::kSentL &&
+        sr_.value.raw.load(std::memory_order_acquire) == dcas::kSentR;
+    view.left_deleted = left_deleted_bit_unsynchronized();
+    view.right_deleted = right_deleted_bit_unsynchronized();
+    std::vector<const Node*> chain;
+    const Node* n = dcas::pointer_of<const Node>(
+        sl_.right.raw.load(std::memory_order_acquire));
+    const std::size_t bound = pool_.capacity() + 2;
+    view.reachable = true;
+    while (n != &sr_) {
+      if (n == nullptr || n == &sl_ || chain.size() > bound) {
+        view.reachable = false;
+        break;
+      }
+      chain.push_back(n);
+      n = dcas::pointer_of<const Node>(
+          n->right.raw.load(std::memory_order_acquire));
+    }
+    view.backlinks_ok = view.reachable;
+    const Node* prev = &sl_;
+    for (const Node* c : chain) {
+      const std::uint64_t lw = c->left.raw.load(std::memory_order_acquire);
+      if (dcas::pointer_of<const Node>(lw) != prev) view.backlinks_ok = false;
+      if (dcas::deleted_of(lw) ||
+          dcas::deleted_of(c->right.raw.load(std::memory_order_acquire))) {
+        view.interior_deleted = true;
+      }
+      prev = c;
+    }
+    if (view.reachable &&
+        dcas::pointer_of<const Node>(
+            sr_.left.raw.load(std::memory_order_acquire)) != prev) {
+      view.backlinks_ok = false;
+    }
+    view.values.reserve(chain.size());
+    for (const Node* c : chain) {
+      view.values.push_back(c->value.raw.load(std::memory_order_acquire));
+    }
+    return view;
+  }
+
   const reclaim::NodePool& pool() const noexcept { return pool_; }
   Reclaim& reclaimer() noexcept { return reclaimer_; }
 

@@ -2,7 +2,10 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 namespace dcd::deque {
 
@@ -28,6 +31,36 @@ struct ArrayOptions {
   bool failure_view = true;
 
   constexpr bool operator==(const ArrayOptions&) const = default;
+};
+
+// --- representation views (input to verify::RepAuditor) -------------------
+//
+// Structural snapshots of a deque's shared state, taken by the deques'
+// rep_view_unsynchronized() accessors at a moment when no step is in
+// flight (a quiescent deque, or a model-checker state where every model
+// thread is parked *before* its next access). The §5 invariant clauses are
+// judged over these views by dcd::verify::RepAuditor, which keeps the
+// clause-by-clause logic testable against synthetic states.
+
+struct ArrayRepView {
+  std::size_t n = 0;  // capacity (length_S)
+  std::size_t l = 0;  // decoded L index (may be out of range if corrupted)
+  std::size_t r = 0;  // decoded R index
+  std::vector<bool> cell_null;  // S[i] == null, i in [0, n)
+  std::vector<std::uint64_t> cells;  // raw cell words (diagnostics /
+                                     // state fingerprints)
+};
+
+struct ListRepView {
+  bool sentinel_values_ok = false;  // SL/SR value words intact
+  bool reachable = false;       // SL → SR right-walk closes within bound
+  bool backlinks_ok = false;    // every left word points at the predecessor
+  bool interior_deleted = false;  // a deleted bit inside the chain (illegal:
+                                  // the bit lives only on sentinel inward
+                                  // words)
+  bool left_deleted = false;    // deleted bit on SL.R
+  bool right_deleted = false;   // deleted bit on SR.L
+  std::vector<std::uint64_t> values;  // chain value words, left → right
 };
 
 template <typename D, typename T>

@@ -1,0 +1,109 @@
+// Seeded bug injection for model-checker sensitivity tests.
+//
+// A verifier that has never failed is untrustworthy; these mutations plant
+// the §5 bugs the paper's proofs rule out, so the test suite can demand
+// that the explorer (a) catches each one and (b) emits a counterexample
+// that replays — including under ChaosDcas on real threads.
+//
+// MutantDcasT sits *under* the observation wrapper (SchedDcasT or
+// ChaosDcas), so schedulers and park rules classify the DCAS the algorithm
+// *intended* — the mutation corrupts only what reaches memory:
+//
+//     deque → SchedDcasT<MutantDcasT<GlobalLockDcas>>   (model checking)
+//     deque → ChaosDcas<MutantDcasT<GlobalLockDcas>>    (counterexample
+//                                                        replay on threads)
+#pragma once
+
+#include <cstdint>
+
+#include "dcd/dcas/chaos.hpp"
+#include "dcd/dcas/concepts.hpp"
+#include "dcd/dcas/global_lock.hpp"
+#include "dcd/dcas/word.hpp"
+
+namespace dcd::mc {
+
+enum class Mutation : std::uint8_t {
+  kNone = 0,
+  // List deque: the logical-delete DCAS nulls the value but "forgets" the
+  // deleted bit on the sentinel's inward pointer. The popped node is left
+  // looking like a live node holding null — an unlicensed null the §5
+  // invariant forbids, and later pops on that side report empty while the
+  // deque still holds elements.
+  kDropDeletedBit,
+  // Array deque: the pop-commit DCAS moves the index but "forgets" to null
+  // the popped cell. The cell is then a non-null value inside the
+  // supposedly-null region (Figure 18 violation) and gets popped twice.
+  kPopKeepsValue,
+};
+
+const char* mutation_name(Mutation m) noexcept;
+// Returns false (and leaves `out` untouched) for unknown names.
+bool mutation_from_name(const char* name, Mutation& out) noexcept;
+
+// Process-wide active mutation (kNone = policies are faithful wrappers).
+Mutation active_mutation() noexcept;
+void set_active_mutation(Mutation m) noexcept;
+
+class ScopedMutation {
+ public:
+  explicit ScopedMutation(Mutation m) { set_active_mutation(m); }
+  ~ScopedMutation() { set_active_mutation(Mutation::kNone); }
+  ScopedMutation(const ScopedMutation&) = delete;
+  ScopedMutation& operator=(const ScopedMutation&) = delete;
+};
+
+template <dcas::DcasPolicy Inner>
+class MutantDcasT {
+ public:
+  static constexpr const char* kName = "mutant";
+  static constexpr bool kLockFree = Inner::kLockFree;
+
+  using InnerPolicy = Inner;
+
+  static std::uint64_t load(const dcas::Word& w) noexcept {
+    return Inner::load(w);
+  }
+
+  static void store_init(dcas::Word& w, std::uint64_t v) noexcept {
+    Inner::store_init(w, v);
+  }
+
+  static bool cas(dcas::Word& w, std::uint64_t oldv,
+                  std::uint64_t newv) noexcept {
+    return Inner::cas(w, oldv, newv);
+  }
+
+  static bool dcas(dcas::Word& a, dcas::Word& b, std::uint64_t oa,
+                   std::uint64_t ob, std::uint64_t na,
+                   std::uint64_t nb) noexcept {
+    mutate(oa, ob, na, nb);
+    return Inner::dcas(a, b, oa, ob, na, nb);
+  }
+
+  static bool dcas_view(dcas::Word& a, dcas::Word& b, std::uint64_t& oa,
+                        std::uint64_t& ob, std::uint64_t na,
+                        std::uint64_t nb) noexcept {
+    mutate(oa, ob, na, nb);
+    return Inner::dcas_view(a, b, oa, ob, na, nb);
+  }
+
+ private:
+  static void mutate(std::uint64_t oa, std::uint64_t ob, std::uint64_t& na,
+                     std::uint64_t& nb) noexcept {
+    const Mutation m = active_mutation();
+    if (m == Mutation::kNone) return;
+    const dcas::DcasShape s = dcas::classify_dcas(oa, ob, na, nb);
+    if (m == Mutation::kDropDeletedBit &&
+        s == dcas::DcasShape::kLogicalDelete) {
+      na = dcas::clear_deleted(na);
+    } else if (m == Mutation::kPopKeepsValue &&
+               s == dcas::DcasShape::kPopCommit) {
+      nb = ob;
+    }
+  }
+};
+
+static_assert(dcas::DcasPolicy<MutantDcasT<dcas::GlobalLockDcas>>);
+
+}  // namespace dcd::mc

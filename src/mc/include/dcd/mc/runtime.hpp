@@ -1,0 +1,123 @@
+// Cooperative deterministic scheduler for model threads.
+//
+// The Runtime owns N persistent worker threads (reused across the many
+// executions of one exploration — thread spawn would dominate otherwise)
+// and installs itself as the process's SchedClient. Execution protocol:
+//
+//   * begin(bodies) hands each worker a thread body; every worker first
+//     parks at a *start pseudo-step* before running any of it. Making
+//     thread startup an explicit schedulable step pins down everything the
+//     body does before its first policy access (history tickets, node-pool
+//     allocation), so an execution is a pure function of the grant
+//     sequence.
+//   * A worker's every SchedDcas access parks in before_access until the
+//     controller grants it via step(t); the worker then executes that one
+//     access and keeps running thread-local code until its next access (or
+//     body completion). step(t) blocks until the worker is parked again or
+//     finished, then reports what the step did — at most one model thread
+//     is ever runnable, which is what makes mid-execution invariant audits
+//     of the live deque safe.
+//   * Threads the Runtime does not manage (the explorer's control thread
+//     doing setup/drain ops, ordinary test threads) pass through
+//     before_access untouched.
+//
+// Blocking discipline: the inner DCAS policy may take locks *inside* a
+// granted step but never holds one across a park (all policy locks are
+// scoped to a single load/cas/dcas call), and every parked thread is
+// enabled — there are no blocking operations at the model level. Any
+// schedule therefore drives every thread to completion; the deques'
+// obstruction-freedom guarantees a thread granted steps alone finishes its
+// remaining ops (Runtime::drain exploits this).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dcd/dcas/sched.hpp"
+
+namespace dcd::mc {
+
+// What a parked model thread will do when granted.
+struct PendingStep {
+  bool valid = false;
+  bool is_start = false;       // start pseudo-step: no shared footprint
+  dcas::SchedAccess access;    // meaningful when valid && !is_start
+};
+
+// One executed (granted) step.
+struct StepRecord {
+  int tid = -1;
+  bool is_start = false;
+  dcas::AccessKind kind = dcas::AccessKind::kLoad;
+  const dcas::Word* a = nullptr;
+  const dcas::Word* b = nullptr;
+  dcas::DcasShape shape = dcas::DcasShape::kGeneric;
+  bool wrote = false;  // a cas/dcas that succeeded
+};
+
+class Runtime final : public dcas::SchedClient {
+ public:
+  // Spawns `threads` workers and installs this Runtime as the global
+  // SchedClient (at most one Runtime may live at a time).
+  explicit Runtime(int threads);
+  ~Runtime() override;
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int threads() const noexcept { return static_cast<int>(workers_.size()); }
+
+  // Starts one execution; returns once every worker is parked at its start
+  // pseudo-step. Requires the previous execution (if any) fully finished.
+  void begin(std::vector<std::function<void()>> bodies);
+
+  bool parked(int t) const;
+  bool finished(int t) const;
+  bool all_finished() const;
+  // Requires parked(t).
+  PendingStep pending(int t) const;
+
+  // Grants thread t its pending step and blocks until t parks again or
+  // finishes. Requires parked(t).
+  StepRecord step(int t);
+
+  // Runs every unfinished thread to completion, one thread at a time
+  // (sound because each runs in isolation once the others are parked).
+  // Used to abandon sleep-set-pruned or violating executions cleanly.
+  void drain();
+
+  // SchedClient interface (called from worker threads).
+  void before_access(const dcas::SchedAccess& access) override;
+  void after_access(const dcas::SchedAccess& access, bool wrote) override;
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,      // waiting for a body
+    kAssigned,  // body handed over, not yet parked at start
+    kParked,    // pending step published, waiting for grant
+    kGranted,   // controller granted; worker about to run
+    kRunning,   // executing thread-local code / the granted access
+    kFinished,  // body returned
+  };
+
+  struct Worker {
+    std::thread thread;
+    std::function<void()> body;
+    Phase phase = Phase::kIdle;
+    PendingStep pending;
+    bool last_wrote = false;
+  };
+
+  void worker_main(int slot);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<Worker> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace dcd::mc

@@ -1,0 +1,63 @@
+// Bounded model-checking scenarios.
+//
+// A scenario is what the explorer enumerates interleavings *of*: a deque
+// kind and bound, a single-threaded setup prefix, and a small per-thread
+// program of operations (2–3 threads × 3–5 ops keeps the interleaving
+// space in the 10^4–10^6 range DPOR handles in seconds). The builtin
+// corpus covers the ISSUE acceptance set — array deques of capacity 2 and
+// 3 under 2 threads × 3 ops, list deques under 2 threads × 3 ops, and a
+// scenario engineered to drive the list deque through Figure 16's
+// two-logically-deleted-nodes state and its double-splice resolution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcd/mc/mutation.hpp"
+#include "dcd/verify/history.hpp"
+
+namespace dcd::mc {
+
+enum class DequeKind : std::uint8_t { kArray, kList };
+
+const char* deque_kind_name(DequeKind k) noexcept;
+bool deque_kind_from_name(const char* name, DequeKind& out) noexcept;
+
+struct ScenarioOp {
+  verify::OpType type = verify::OpType::kPushRight;
+  std::uint64_t arg = 0;  // pushes only
+};
+
+struct Scenario {
+  std::string name;
+  DequeKind deque = DequeKind::kList;
+  // Array: length_S. List: node-pool bound — size it generously (the
+  // default 64 nodes) so a parked popper's pinned limbo nodes can never
+  // starve the allocator and surface a spurious "full" the linearizability
+  // spec would reject.
+  std::size_t capacity = 64;
+  std::vector<ScenarioOp> setup;  // run solo by the controller, recorded
+  std::vector<std::vector<ScenarioOp>> threads;
+  Mutation mutation = Mutation::kNone;
+
+  std::size_t total_ops() const noexcept;
+  std::string describe() const;
+};
+
+// "pushRight(5)" / "popLeft" — the textual form replay files use.
+std::string format_op(const ScenarioOp& op);
+bool parse_op(const std::string& text, ScenarioOp& out);
+
+// The named suite the acceptance tests and the CI `mc` job run.
+std::vector<Scenario> builtin_scenarios();
+// Lookup by name; returns false if absent.
+bool find_builtin(const std::string& name, Scenario& out);
+
+// The engineered Figure 16 scenario (also part of builtin_scenarios):
+// two items, one popper per end popping twice — the second pops find the
+// opposite end's logical delete and race their two-null double splices.
+Scenario figure16_scenario();
+
+}  // namespace dcd::mc

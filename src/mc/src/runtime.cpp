@@ -1,0 +1,163 @@
+#include "dcd/mc/runtime.hpp"
+
+#include <utility>
+
+#include "dcd/util/assert.hpp"
+
+namespace dcd::mc {
+
+namespace {
+// Slot index of the current thread when it is a managed model thread, -1
+// otherwise (control thread, ordinary test threads): the passthrough test
+// before_access runs on every policy access.
+thread_local int t_slot = -1;
+}  // namespace
+
+Runtime::Runtime(int threads) : workers_(static_cast<std::size_t>(threads)) {
+  DCD_ASSERT(threads >= 1);
+  dcas::install_sched_client(this);
+  for (int t = 0; t < threads; ++t) {
+    workers_[static_cast<std::size_t>(t)].thread =
+        std::thread([this, t] { worker_main(t); });
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Tear down only between executions: a worker parked mid-body cannot
+    // unwind (its stack is inside a deque operation).
+    for (const Worker& w : workers_) {
+      DCD_ASSERT(w.phase == Phase::kIdle || w.phase == Phase::kFinished ||
+                 (w.phase == Phase::kParked && w.pending.is_start));
+    }
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (Worker& w : workers_) w.thread.join();
+  dcas::uninstall_sched_client(this);
+}
+
+void Runtime::worker_main(int slot) {
+  t_slot = slot;
+  Worker& w = workers_[static_cast<std::size_t>(slot)];
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return shutdown_ || w.phase == Phase::kAssigned; });
+    if (shutdown_) return;
+    // Park at the start pseudo-step; the body only runs once granted.
+    w.pending = PendingStep{};
+    w.pending.valid = true;
+    w.pending.is_start = true;
+    w.phase = Phase::kParked;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return shutdown_ || w.phase == Phase::kGranted; });
+    if (shutdown_) return;
+    w.phase = Phase::kRunning;
+    w.pending.valid = false;
+    w.last_wrote = false;
+    std::function<void()> body = std::move(w.body);
+    lk.unlock();
+    body();
+    lk.lock();
+    w.phase = Phase::kFinished;
+    cv_.notify_all();
+  }
+}
+
+void Runtime::begin(std::vector<std::function<void()>> bodies) {
+  DCD_ASSERT(bodies.size() == workers_.size());
+  std::unique_lock<std::mutex> lk(mu_);
+  for (std::size_t t = 0; t < workers_.size(); ++t) {
+    Worker& w = workers_[t];
+    DCD_ASSERT(w.phase == Phase::kIdle || w.phase == Phase::kFinished);
+    w.body = std::move(bodies[t]);
+    w.phase = Phase::kAssigned;
+    w.last_wrote = false;
+  }
+  cv_.notify_all();
+  cv_.wait(lk, [&] {
+    for (const Worker& w : workers_) {
+      if (w.phase != Phase::kParked) return false;
+    }
+    return true;
+  });
+}
+
+bool Runtime::parked(int t) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return workers_[static_cast<std::size_t>(t)].phase == Phase::kParked;
+}
+
+bool Runtime::finished(int t) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return workers_[static_cast<std::size_t>(t)].phase == Phase::kFinished;
+}
+
+bool Runtime::all_finished() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const Worker& w : workers_) {
+    if (w.phase != Phase::kFinished) return false;
+  }
+  return true;
+}
+
+PendingStep Runtime::pending(int t) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Worker& w = workers_[static_cast<std::size_t>(t)];
+  DCD_ASSERT(w.phase == Phase::kParked && w.pending.valid);
+  return w.pending;
+}
+
+StepRecord Runtime::step(int t) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Worker& w = workers_[static_cast<std::size_t>(t)];
+  DCD_ASSERT(w.phase == Phase::kParked && w.pending.valid);
+  StepRecord rec;
+  rec.tid = t;
+  rec.is_start = w.pending.is_start;
+  if (!rec.is_start) {
+    rec.kind = w.pending.access.kind;
+    rec.a = w.pending.access.a;
+    rec.b = w.pending.access.b;
+    rec.shape = w.pending.access.shape;
+  }
+  w.last_wrote = false;
+  w.phase = Phase::kGranted;
+  cv_.notify_all();
+  cv_.wait(lk, [&] {
+    return w.phase == Phase::kParked || w.phase == Phase::kFinished;
+  });
+  // last_wrote was written by after_access of exactly the granted step
+  // (the worker cannot reach a later access without parking first).
+  rec.wrote = w.last_wrote;
+  return rec;
+}
+
+void Runtime::drain() {
+  for (int t = 0; t < threads(); ++t) {
+    while (!finished(t)) step(t);
+  }
+}
+
+void Runtime::before_access(const dcas::SchedAccess& access) {
+  if (t_slot < 0) return;  // unmanaged thread: plain passthrough
+  Worker& w = workers_[static_cast<std::size_t>(t_slot)];
+  std::unique_lock<std::mutex> lk(mu_);
+  w.pending.valid = true;
+  w.pending.is_start = false;
+  w.pending.access = access;
+  w.phase = Phase::kParked;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return w.phase == Phase::kGranted; });
+  w.phase = Phase::kRunning;
+  w.pending.valid = false;
+}
+
+void Runtime::after_access(const dcas::SchedAccess&, bool wrote) {
+  if (t_slot < 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  workers_[static_cast<std::size_t>(t_slot)].last_wrote = wrote;
+}
+
+}  // namespace dcd::mc

@@ -1,0 +1,179 @@
+#include "dcd/mc/scenario.hpp"
+
+#include <cstring>
+
+namespace dcd::mc {
+
+using verify::OpType;
+
+const char* deque_kind_name(DequeKind k) noexcept {
+  switch (k) {
+    case DequeKind::kArray: return "array";
+    case DequeKind::kList: return "list";
+  }
+  return "?";
+}
+
+bool deque_kind_from_name(const char* name, DequeKind& out) noexcept {
+  for (const DequeKind k : {DequeKind::kArray, DequeKind::kList}) {
+    if (std::strcmp(name, deque_kind_name(k)) == 0) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Scenario::total_ops() const noexcept {
+  std::size_t n = setup.size();
+  for (const auto& t : threads) n += t.size();
+  return n;
+}
+
+std::string Scenario::describe() const {
+  std::string s = name + ": " + deque_kind_name(deque) +
+                  "(cap=" + std::to_string(capacity) + ")";
+  if (!setup.empty()) {
+    s += " setup";
+    for (const ScenarioOp& op : setup) s += " " + format_op(op);
+  }
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    s += " | t" + std::to_string(t);
+    for (const ScenarioOp& op : threads[t]) s += " " + format_op(op);
+  }
+  if (mutation != Mutation::kNone) {
+    s += " | mutation=" + std::string(mutation_name(mutation));
+  }
+  return s;
+}
+
+std::string format_op(const ScenarioOp& op) {
+  std::string s = op_name(op.type);
+  if (op.type == OpType::kPushRight || op.type == OpType::kPushLeft) {
+    s += "(" + std::to_string(op.arg) + ")";
+  }
+  return s;
+}
+
+bool parse_op(const std::string& text, ScenarioOp& out) {
+  std::string head = text;
+  std::uint64_t arg = 0;
+  bool has_arg = false;
+  const std::size_t paren = text.find('(');
+  if (paren != std::string::npos) {
+    if (text.back() != ')') return false;
+    head = text.substr(0, paren);
+    const std::string digits = text.substr(paren + 1,
+                                           text.size() - paren - 2);
+    if (digits.empty()) return false;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') return false;
+      arg = arg * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    has_arg = true;
+  }
+  for (const OpType t : {OpType::kPushRight, OpType::kPushLeft,
+                         OpType::kPopRight, OpType::kPopLeft}) {
+    if (head == op_name(t)) {
+      const bool is_push = t == OpType::kPushRight || t == OpType::kPushLeft;
+      if (is_push != has_arg) return false;
+      out.type = t;
+      out.arg = arg;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+ScenarioOp push_r(std::uint64_t v) { return {OpType::kPushRight, v}; }
+ScenarioOp push_l(std::uint64_t v) { return {OpType::kPushLeft, v}; }
+ScenarioOp pop_r() { return {OpType::kPopRight, 0}; }
+ScenarioOp pop_l() { return {OpType::kPopLeft, 0}; }
+
+}  // namespace
+
+Scenario figure16_scenario() {
+  Scenario s;
+  s.name = "list-fig16-double-splice";
+  s.deque = DequeKind::kList;
+  s.capacity = 64;
+  s.setup = {push_r(1), push_r(2)};
+  // Each popper's first pop logically deletes its end; the second pops
+  // then race the Figure 16 physical double splice. Some interleavings
+  // visit the two-deleted state (both sentinels' bits set) and execute a
+  // successful delete.two_null_splice DCAS — the explorer's stats assert
+  // both were reached.
+  s.threads = {{pop_l(), pop_l()}, {pop_r(), pop_r()}};
+  return s;
+}
+
+std::vector<Scenario> builtin_scenarios() {
+  std::vector<Scenario> all;
+
+  // Array deques, N ∈ {2, 3}, 2 threads × 3 ops (acceptance set). The ops
+  // keep both ends and the (L+1) mod N == R boundary busy: pushes compete
+  // with pops for the last slot / last element (Figure 6's interference
+  // case) and for the empty-vs-full disambiguation.
+  for (const std::size_t n : {std::size_t{2}, std::size_t{3}}) {
+    Scenario s;
+    s.name = "array-n" + std::to_string(n) + "-mixed";
+    s.deque = DequeKind::kArray;
+    s.capacity = n;
+    s.setup = {push_r(1)};
+    s.threads = {{push_l(2), pop_r(), pop_r()}, {pop_l(), push_r(3), pop_l()}};
+    all.push_back(s);
+  }
+
+  // Array boundary race: one element, both ends pop it — exactly one may
+  // win; the loser must prove emptiness via the ambiguous L==R-1 boundary.
+  {
+    Scenario s;
+    s.name = "array-n2-boundary-race";
+    s.deque = DequeKind::kArray;
+    s.capacity = 2;
+    s.setup = {push_r(7)};
+    s.threads = {{pop_r(), push_r(8), pop_l()}, {pop_l(), pop_l()}};
+    all.push_back(s);
+  }
+
+  // List deque, 2 threads × 3 ops with concurrent pushes and pops (splice
+  // vs push interference on the sentinel words).
+  {
+    Scenario s;
+    s.name = "list-mixed";
+    s.deque = DequeKind::kList;
+    s.setup = {push_r(1)};
+    s.threads = {{push_r(2), pop_l(), pop_l()}, {pop_r(), push_l(3), pop_r()}};
+    all.push_back(s);
+  }
+
+  all.push_back(figure16_scenario());
+
+  // Suspended-popper shape: both threads pop the single element; one pop's
+  // logical delete can sit unresolved (parked popper, §5.2) while the
+  // other end must still prove emptiness or perform the physical delete.
+  {
+    Scenario s;
+    s.name = "list-single-item-pop-race";
+    s.deque = DequeKind::kList;
+    s.setup = {push_r(5)};
+    s.threads = {{pop_r(), pop_r()}, {pop_l(), pop_l()}};
+    all.push_back(s);
+  }
+
+  return all;
+}
+
+bool find_builtin(const std::string& name, Scenario& out) {
+  for (Scenario& s : builtin_scenarios()) {
+    if (s.name == name) {
+      out = std::move(s);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dcd::mc

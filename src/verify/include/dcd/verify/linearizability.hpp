@@ -30,8 +30,15 @@ enum class Verdict {
 
 struct CheckResult {
   Verdict verdict = Verdict::kLimitExceeded;
-  // On success: indices into history.ops in linearization order.
+  // On kLinearizable (only): indices into history.ops in linearization
+  // order. Empty on every other verdict — in particular a kLimitExceeded
+  // result never leaks the DFS's abandoned prefix here, so callers may
+  // treat a non-empty witness as a complete, replayable linearization.
   std::vector<std::size_t> witness;
+  // On kLimitExceeded: the linearization prefix the DFS was extending when
+  // the budget ran out. Diagnostic only — it shows *where* the search got
+  // stuck, but is neither complete nor known to extend to a witness.
+  std::vector<std::size_t> partial_witness;
   std::uint64_t states_explored = 0;
   std::string message;
 

@@ -1,0 +1,45 @@
+// §5 representation-invariant auditor.
+//
+// The paper proves Theorems 3.1/4.1 by maintaining a representation
+// invariant (Figure 18 for the array deque, Figures 24/25 for the list
+// deque) across every atomic step. The deques already evaluate those
+// invariants on themselves (check_rep_inv_unsynchronized); this auditor
+// re-states them clause by clause over the structural snapshots in
+// deque/types.hpp, for two consumers the in-header checks cannot serve:
+//
+//   * dcd::mc::Explorer audits every explored state and needs a *named*
+//     clause in a counterexample ("list.null_licensing failed at step 7"
+//     beats "rep inv false");
+//   * the auditor's own tests, which feed it synthetic corrupted views —
+//     states a correct deque can never be steered into.
+#pragma once
+
+#include <string>
+
+#include "dcd/deque/types.hpp"
+
+namespace dcd::verify {
+
+struct AuditResult {
+  bool ok = true;
+  // Space-separated failed clause names plus a short diagnostic, e.g.
+  // "array.segment_null[3]". Empty when ok.
+  std::string detail;
+};
+
+class RepAuditor {
+ public:
+  // Figure 18: indices in range; (l+1) mod n == r is the ambiguous
+  // boundary (all-null = empty, all-non-null = full); otherwise the
+  // non-null cells are exactly the cyclic segment (l, r) exclusive.
+  static AuditResult audit_array(const deque::ArrayRepView& view);
+
+  // Figures 24/25: sentinel value words intact; the chain closes and is
+  // doubly linked; deleted bits only on the sentinels' inward words; a
+  // null value exactly where a set bit licenses it (boundary node of the
+  // deleted side); both bits set needs >= 2 nodes — the Figure 16 state is
+  // the maximal legal one: exactly two logically-deleted boundary nodes.
+  static AuditResult audit_list(const deque::ListRepView& view);
+};
+
+}  // namespace dcd::verify

@@ -102,7 +102,14 @@ class Checker {
         result.message = "no legal linearization exists; history:\n" +
                          h_.describe();
       } else {
-        result.message = "state limit exceeded";
+        // path_ holds the prefix under extension when the budget ran out.
+        // Surface it as the clearly-partial field and leave `witness`
+        // empty, so no caller mistakes an abandoned prefix for a witness.
+        result.partial_witness = path_;
+        result.message =
+            "state limit exceeded (partial linearization prefix of " +
+            std::to_string(path_.size()) + "/" +
+            std::to_string(h_.ops.size()) + " ops in partial_witness)";
       }
     } else {
       result.verdict = Verdict::kLinearizable;

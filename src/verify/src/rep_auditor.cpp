@@ -1,0 +1,104 @@
+#include "dcd/verify/rep_auditor.hpp"
+
+#include <cstddef>
+#include <string>
+
+#include "dcd/dcas/word.hpp"
+
+namespace dcd::verify {
+
+namespace {
+
+// Accumulates failed clause names; the audit runs every clause rather than
+// stopping at the first failure so a counterexample names the full damage.
+struct Clauses {
+  AuditResult result;
+
+  void fail(const std::string& clause) {
+    result.ok = false;
+    if (!result.detail.empty()) result.detail += ' ';
+    result.detail += clause;
+  }
+};
+
+}  // namespace
+
+AuditResult RepAuditor::audit_array(const deque::ArrayRepView& view) {
+  Clauses c;
+  if (view.n == 0 || view.cell_null.size() != view.n) {
+    c.fail("array.view_malformed");
+    return c.result;
+  }
+  if (view.l >= view.n || view.r >= view.n) {
+    c.fail("array.index_range[l=" + std::to_string(view.l) +
+           ",r=" + std::to_string(view.r) + "]");
+    return c.result;  // the segment clauses are meaningless off-range
+  }
+  std::size_t nulls = 0;
+  for (std::size_t i = 0; i < view.n; ++i) {
+    if (view.cell_null[i]) ++nulls;
+  }
+  if (view.r == (view.l + 1) % view.n) {
+    // Figure 18's ambiguous boundary: empty and full share the index
+    // relation and are told apart purely by cell contents.
+    if (nulls != 0 && nulls != view.n) {
+      c.fail("array.ambiguous_boundary[nulls=" + std::to_string(nulls) +
+             "/" + std::to_string(view.n) + "]");
+    }
+    return c.result;
+  }
+  // Occupied segment: cyclically (l, r) exclusive must be non-null ...
+  for (std::size_t i = (view.l + 1) % view.n; i != view.r;
+       i = (i + 1) % view.n) {
+    if (view.cell_null[i]) c.fail("array.segment_full[" + std::to_string(i) + "]");
+  }
+  // ... and the complement [r, l] inclusive must be null.
+  for (std::size_t i = view.r;; i = (i + 1) % view.n) {
+    if (!view.cell_null[i]) c.fail("array.segment_null[" + std::to_string(i) + "]");
+    if (i == view.l) break;
+  }
+  return c.result;
+}
+
+AuditResult RepAuditor::audit_list(const deque::ListRepView& view) {
+  Clauses c;
+  if (!view.sentinel_values_ok) c.fail("list.sentinel_values");
+  if (!view.reachable) {
+    c.fail("list.reachable");
+    return c.result;  // values/backlinks were cut short; nothing else is sound
+  }
+  if (!view.backlinks_ok) c.fail("list.backlinks");
+  if (view.interior_deleted) c.fail("list.interior_deleted");
+  const std::size_t len = view.values.size();
+  // A set bit must point at an existing boundary node whose value it
+  // nulled (the logical-delete DCAS writes both words together).
+  if (view.left_deleted &&
+      (len == 0 || !dcas::is_null(view.values.front()))) {
+    c.fail("list.deleted_target_null[left]");
+  }
+  if (view.right_deleted &&
+      (len == 0 || !dcas::is_null(view.values.back()))) {
+    c.fail("list.deleted_target_null[right]");
+  }
+  // Both bits set is the Figure 16 state: two distinct logically-deleted
+  // boundary nodes. One node cannot be deleted from both sides.
+  if (view.left_deleted && view.right_deleted && len < 2) {
+    c.fail("list.two_deleted_minimum");
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    // Null values appear only where a bit licenses them; anything else is
+    // a lost element. Sentinel markers inside the chain mean a splice
+    // published a sentinel word as a value.
+    const bool licensed = (i == 0 && view.left_deleted) ||
+                          (i + 1 == len && view.right_deleted);
+    if (dcas::is_null(view.values[i]) && !licensed) {
+      c.fail("list.null_licensing[" + std::to_string(i) + "]");
+    }
+    if (view.values[i] == dcas::kSentL || view.values[i] == dcas::kSentR) {
+      c.fail("list.value_payload[" + std::to_string(i) + "]");
+    }
+  }
+  return c.result;
+}
+
+}  // namespace dcd::verify

@@ -7,10 +7,15 @@
 //   --gtest_filter='Fuzz*' plus the seed printed in the assertion.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "dcd/deque/array_deque.hpp"
 #include "dcd/deque/list_deque.hpp"
+#include "dcd/mc/replay.hpp"
 #include "dcd/util/rng.hpp"
 #include "dcd/verify/driver.hpp"
 #include "dcd/verify/linearizability.hpp"
@@ -168,6 +173,78 @@ TEST_P(FuzzReplayTest, McasArrayShortPhases) {
     while (d.pop_left()) {
     }
     spec = SpecDeque(3);
+  }
+}
+
+// --- known-nasty schedule corpus (tests/replays/*.repro) --------------------
+//
+// Curated replay files for the schedules the §5 proofs reason about — the
+// suspended popper, the Figure 16 double splice, the array L/R boundary
+// race — plus the explorer's mutation counterexamples. Each file carries
+// its own expectations (`expect:`, `expect-shape:`, ...); this suite runs
+// every file through both executors, so the corpus can't rot silently.
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DCD_REPLAY_CORPUS_DIR)) {
+    if (entry.path().extension() == ".repro") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ReplayCorpus, HasTheKnownNastySchedules) {
+  const std::vector<std::string> files = corpus_files();
+  ASSERT_GE(files.size(), 5u) << "corpus went missing";
+  const auto has = [&](const char* stem) {
+    for (const std::string& f : files) {
+      if (f.find(stem) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("suspended-popper"));
+  EXPECT_TRUE(has("fig16-double-splice"));
+  EXPECT_TRUE(has("array-boundary-race"));
+  EXPECT_TRUE(has("mutation-drop-deleted-bit"));
+  EXPECT_TRUE(has("mutation-pop-keeps-value"));
+}
+
+TEST(ReplayCorpus, EveryFileParsesAndRoundTrips) {
+  for (const std::string& path : corpus_files()) {
+    dcd::mc::ReplayFile file;
+    std::string error;
+    ASSERT_TRUE(dcd::mc::load_replay_file(path, file, error))
+        << path << ": " << error;
+    dcd::mc::ReplayFile again;
+    ASSERT_TRUE(
+        dcd::mc::parse_replay(dcd::mc::serialize_replay(file), again, error))
+        << path << ": " << error;
+    EXPECT_EQ(again.schedule, file.schedule) << path;
+    EXPECT_EQ(again.scenario.threads.size(), file.scenario.threads.size())
+        << path;
+  }
+}
+
+TEST(ReplayCorpus, ScheduledReplayMeetsExpectations) {
+  for (const std::string& path : corpus_files()) {
+    dcd::mc::ReplayFile file;
+    std::string error;
+    ASSERT_TRUE(dcd::mc::load_replay_file(path, file, error)) << error;
+    const dcd::mc::ReplayOutcome out = dcd::mc::run_replay(file);
+    EXPECT_TRUE(out.ok) << path << ": " << out.message;
+  }
+}
+
+TEST(ReplayCorpus, ChaosReplayMeetsExpectations) {
+  for (const std::string& path : corpus_files()) {
+    dcd::mc::ReplayFile file;
+    std::string error;
+    ASSERT_TRUE(dcd::mc::load_replay_file(path, file, error)) << error;
+    const dcd::mc::ReplayOutcome out = dcd::mc::run_replay_chaos(file);
+    EXPECT_TRUE(out.ok) << path << ": " << out.message;
   }
 }
 

@@ -1,0 +1,102 @@
+// Sensitivity tests: a verifier that has never failed is untrustworthy.
+//
+// Each seeded mutation (mc/mutation.hpp) plants a §5 bug; the explorer
+// must (a) catch it, (b) emit a minimized counterexample whose scheduled
+// replay reproduces the identical verdict, and (c) the same file must
+// reproduce *some* violation on real threads under ChaosDcas — the
+// one-command-repro acceptance criterion.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dcd/mc/explorer.hpp"
+#include "dcd/mc/mutation.hpp"
+#include "dcd/mc/replay.hpp"
+#include "dcd/mc/scenario.hpp"
+
+namespace {
+
+using namespace dcd;
+
+mc::Scenario mutated(const std::string& name, mc::Mutation m) {
+  mc::Scenario sc;
+  EXPECT_TRUE(mc::find_builtin(name, sc)) << name;
+  sc.mutation = m;
+  return sc;
+}
+
+void expect_caught_and_replayable(const mc::Scenario& sc) {
+  const mc::ExploreResult res = mc::explore(sc);
+  ASSERT_FALSE(res.ok) << "mutation survived exploration: " << res.message;
+  ASSERT_NE(res.violation.kind, mc::ViolationKind::kNone);
+  ASSERT_FALSE(res.violation.schedule.empty());
+  ASSERT_FALSE(res.violation.minimized_schedule.empty());
+  EXPECT_LE(res.violation.minimized_schedule.size(),
+            res.violation.schedule.size());
+
+  // The counterexample must survive a serialize → parse round trip and
+  // reproduce the identical verdict through the scheduled runtime.
+  const mc::ReplayFile file = mc::make_counterexample(sc, res.violation);
+  const std::string text = mc::serialize_replay(file);
+  mc::ReplayFile parsed;
+  std::string error;
+  ASSERT_TRUE(mc::parse_replay(text, parsed, error)) << error;
+  EXPECT_EQ(parsed.scenario.mutation, sc.mutation);
+  EXPECT_EQ(parsed.schedule, file.schedule);
+
+  const mc::ReplayOutcome scheduled = mc::run_replay(parsed);
+  EXPECT_TRUE(scheduled.ok) << scheduled.message;
+  EXPECT_EQ(scheduled.kind, res.violation.kind);
+
+  // ChaosDcas reproduction on real preemptive threads. The verdict kind
+  // may differ (chaos audits only the final state), but the bug must
+  // still surface as a violation.
+  const mc::ReplayOutcome chaos = mc::run_replay_chaos(parsed);
+  EXPECT_TRUE(chaos.ok) << chaos.message;
+  EXPECT_NE(chaos.kind, mc::ViolationKind::kNone);
+}
+
+TEST(McMutation, DropDeletedBitCaughtOnList) {
+  // The logical-delete DCAS "forgets" the deleted bit: the popped node is
+  // left as a live node holding an unlicensed null. RepAuditor flags the
+  // very state the mutated DCAS creates.
+  expect_caught_and_replayable(
+      mutated("list-fig16-double-splice", mc::Mutation::kDropDeletedBit));
+}
+
+TEST(McMutation, DropDeletedBitCaughtOnMixedListProgram) {
+  expect_caught_and_replayable(
+      mutated("list-mixed", mc::Mutation::kDropDeletedBit));
+}
+
+TEST(McMutation, PopKeepsValueCaughtOnArray) {
+  // The pop-commit DCAS moves the index but keeps the cell value — a
+  // Figure 18 violation (non-null in the supposedly-null segment) that
+  // later manifests as a double pop.
+  expect_caught_and_replayable(
+      mutated("array-n2-mixed", mc::Mutation::kPopKeepsValue));
+}
+
+TEST(McMutation, UnmutatedScenariosStayClean) {
+  // Control: the same scenarios with mutation none are clean, so the
+  // catches above are attributable to the planted bugs alone.
+  mc::Scenario sc;
+  ASSERT_TRUE(mc::find_builtin("list-fig16-double-splice", sc));
+  EXPECT_TRUE(mc::explore(sc).ok);
+  ASSERT_TRUE(mc::find_builtin("array-n2-mixed", sc));
+  EXPECT_TRUE(mc::explore(sc).ok);
+}
+
+TEST(McMutation, NamesRoundTrip) {
+  for (const mc::Mutation m :
+       {mc::Mutation::kNone, mc::Mutation::kDropDeletedBit,
+        mc::Mutation::kPopKeepsValue}) {
+    mc::Mutation back{};
+    ASSERT_TRUE(mc::mutation_from_name(mc::mutation_name(m), back));
+    EXPECT_EQ(back, m);
+  }
+  mc::Mutation out{};
+  EXPECT_FALSE(mc::mutation_from_name("no-such-mutation", out));
+}
+
+}  // namespace

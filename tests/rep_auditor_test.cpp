@@ -1,0 +1,235 @@
+// Clause-by-clause tests for verify::RepAuditor over synthetic rep views.
+//
+// Each §5 invariant clause gets a healthy view, a view corrupted in exactly
+// the way the clause forbids, and a check that the clause name lands in the
+// failure detail — the model checker's counterexamples quote these names,
+// so they are part of the tool's interface.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dcd/dcas/word.hpp"
+#include "dcd/deque/types.hpp"
+#include "dcd/verify/rep_auditor.hpp"
+
+namespace {
+
+using dcd::deque::ArrayRepView;
+using dcd::deque::ListRepView;
+using dcd::verify::AuditResult;
+using dcd::verify::RepAuditor;
+
+std::uint64_t val(std::uint64_t payload) {
+  return dcd::dcas::encode_payload(payload);
+}
+
+// Array view with the occupied segment cyclically (l, r) exclusive.
+ArrayRepView array_view(std::size_t n, std::size_t l, std::size_t r) {
+  ArrayRepView v;
+  v.n = n;
+  v.l = l;
+  v.r = r;
+  v.cell_null.assign(n, true);
+  v.cells.assign(n, dcd::dcas::kNull);
+  if (r != (l + 1) % n) {
+    for (std::size_t i = (l + 1) % n; i != r; i = (i + 1) % n) {
+      v.cell_null[i] = false;
+      v.cells[i] = val(40 + i);
+    }
+  }
+  return v;
+}
+
+ListRepView list_view(std::initializer_list<std::uint64_t> payloads) {
+  ListRepView v;
+  v.sentinel_values_ok = true;
+  v.reachable = true;
+  v.backlinks_ok = true;
+  for (const std::uint64_t p : payloads) v.values.push_back(val(p));
+  return v;
+}
+
+// --- array clauses ---------------------------------------------------------
+
+TEST(RepAuditorArray, HealthyViewsPass) {
+  EXPECT_TRUE(RepAuditor::audit_array(array_view(4, 0, 3)).ok);
+  EXPECT_TRUE(RepAuditor::audit_array(array_view(4, 3, 2)).ok);  // wrapped
+  EXPECT_TRUE(RepAuditor::audit_array(array_view(2, 0, 1)).ok);  // empty
+  EXPECT_TRUE(RepAuditor::audit_array(array_view(1, 0, 0)).ok);
+}
+
+TEST(RepAuditorArray, MalformedView) {
+  ArrayRepView v;  // n == 0
+  const AuditResult r = RepAuditor::audit_array(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("array.view_malformed"), std::string::npos);
+
+  ArrayRepView w = array_view(4, 0, 2);
+  w.cell_null.pop_back();
+  EXPECT_FALSE(RepAuditor::audit_array(w).ok);
+}
+
+TEST(RepAuditorArray, IndexRange) {
+  ArrayRepView v = array_view(4, 0, 2);
+  v.r = 9;
+  const AuditResult r = RepAuditor::audit_array(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("array.index_range"), std::string::npos);
+}
+
+TEST(RepAuditorArray, AmbiguousBoundaryNeedsAllOrNothing) {
+  // (L+1) mod N == R with a *mixed* array: neither empty nor full, which
+  // the §3 disambiguation-by-contents rule forbids.
+  ArrayRepView v = array_view(4, 0, 1);
+  v.cell_null[2] = false;
+  v.cells[2] = val(9);
+  const AuditResult r = RepAuditor::audit_array(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("array.ambiguous_boundary"), std::string::npos);
+
+  // All-null (empty) and all-non-null (full) both pass.
+  EXPECT_TRUE(RepAuditor::audit_array(array_view(4, 0, 1)).ok);
+  ArrayRepView full = array_view(4, 0, 1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    full.cell_null[i] = false;
+    full.cells[i] = val(i);
+  }
+  EXPECT_TRUE(RepAuditor::audit_array(full).ok);
+}
+
+TEST(RepAuditorArray, HoleInOccupiedSegment) {
+  ArrayRepView v = array_view(4, 0, 3);  // occupied: 1, 2
+  v.cell_null[1] = true;
+  v.cells[1] = dcd::dcas::kNull;
+  const AuditResult r = RepAuditor::audit_array(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("array.segment_full[1]"), std::string::npos);
+}
+
+TEST(RepAuditorArray, StrayValueInNullSegment) {
+  // The kPopKeepsValue mutation's exact signature: index moved, cell kept.
+  ArrayRepView v = array_view(4, 0, 2);  // null segment: 2, 3, 0
+  v.cell_null[3] = false;
+  v.cells[3] = val(77);
+  const AuditResult r = RepAuditor::audit_array(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("array.segment_null[3]"), std::string::npos);
+}
+
+TEST(RepAuditorArray, MultipleFailuresAllReported) {
+  ArrayRepView v = array_view(4, 0, 3);
+  v.cell_null[1] = true;   // hole
+  v.cell_null[3] = false;  // stray
+  v.cells[3] = val(5);
+  const AuditResult r = RepAuditor::audit_array(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("array.segment_full[1]"), std::string::npos);
+  EXPECT_NE(r.detail.find("array.segment_null[3]"), std::string::npos);
+}
+
+// --- list clauses ----------------------------------------------------------
+
+TEST(RepAuditorList, HealthyViewsPass) {
+  EXPECT_TRUE(RepAuditor::audit_list(list_view({})).ok);
+  EXPECT_TRUE(RepAuditor::audit_list(list_view({1, 2, 3})).ok);
+
+  // Logically-deleted boundary nodes: bit set, value nulled.
+  ListRepView v = list_view({1, 2});
+  v.left_deleted = true;
+  v.values.front() = dcd::dcas::kNull;
+  EXPECT_TRUE(RepAuditor::audit_list(v).ok);
+  v.right_deleted = true;
+  v.values.back() = dcd::dcas::kNull;
+  EXPECT_TRUE(RepAuditor::audit_list(v).ok);  // the Figure 16 state
+}
+
+TEST(RepAuditorList, SentinelValuesClause) {
+  ListRepView v = list_view({1});
+  v.sentinel_values_ok = false;
+  const AuditResult r = RepAuditor::audit_list(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("list.sentinel_values"), std::string::npos);
+}
+
+TEST(RepAuditorList, ReachabilityStopsTheAudit) {
+  ListRepView v = list_view({1});
+  v.reachable = false;
+  v.backlinks_ok = false;  // would also fail, but must not be reported
+  const AuditResult r = RepAuditor::audit_list(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("list.reachable"), std::string::npos);
+  EXPECT_EQ(r.detail.find("list.backlinks"), std::string::npos);
+}
+
+TEST(RepAuditorList, BacklinksClause) {
+  ListRepView v = list_view({1});
+  v.backlinks_ok = false;
+  EXPECT_NE(RepAuditor::audit_list(v).detail.find("list.backlinks"),
+            std::string::npos);
+}
+
+TEST(RepAuditorList, InteriorDeletedClause) {
+  ListRepView v = list_view({1, 2});
+  v.interior_deleted = true;
+  EXPECT_NE(RepAuditor::audit_list(v).detail.find("list.interior_deleted"),
+            std::string::npos);
+}
+
+TEST(RepAuditorList, DeletedBitDemandsNullBoundary) {
+  // Bit set but the boundary value survived: half a logical delete.
+  ListRepView v = list_view({1, 2});
+  v.left_deleted = true;
+  const AuditResult r = RepAuditor::audit_list(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("list.deleted_target_null[left]"),
+            std::string::npos);
+
+  ListRepView w = list_view({1, 2});
+  w.right_deleted = true;
+  EXPECT_NE(RepAuditor::audit_list(w).detail.find(
+                "list.deleted_target_null[right]"),
+            std::string::npos);
+
+  // Bit set with no node at all.
+  ListRepView e = list_view({});
+  e.right_deleted = true;
+  EXPECT_FALSE(RepAuditor::audit_list(e).ok);
+}
+
+TEST(RepAuditorList, TwoDeletedNeedTwoNodes) {
+  // Figure 16 has *two distinct* logically-deleted boundary nodes; one
+  // node deleted from both sides is impossible.
+  ListRepView v = list_view({0});
+  v.values.front() = dcd::dcas::kNull;
+  v.left_deleted = true;
+  v.right_deleted = true;
+  const AuditResult r = RepAuditor::audit_list(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("list.two_deleted_minimum"), std::string::npos);
+}
+
+TEST(RepAuditorList, UnlicensedNull) {
+  // The kDropDeletedBit mutation's exact signature: nulled value with no
+  // deleted bit licensing it.
+  ListRepView v = list_view({1, 2, 3});
+  v.values[1] = dcd::dcas::kNull;
+  const AuditResult r = RepAuditor::audit_list(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("list.null_licensing[1]"), std::string::npos);
+
+  // A null at the boundary is also unlicensed without the bit.
+  ListRepView w = list_view({1, 2});
+  w.values.front() = dcd::dcas::kNull;
+  EXPECT_NE(RepAuditor::audit_list(w).detail.find("list.null_licensing[0]"),
+            std::string::npos);
+}
+
+TEST(RepAuditorList, SentinelMarkerAsValue) {
+  ListRepView v = list_view({1, 2});
+  v.values[0] = dcd::dcas::kSentL;
+  const AuditResult r = RepAuditor::audit_list(v);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("list.value_payload[0]"), std::string::npos);
+}
+
+}  // namespace

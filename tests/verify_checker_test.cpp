@@ -19,6 +19,17 @@ Operation push_right(std::uint64_t v, bool ok, std::uint64_t inv,
   return op;
 }
 
+Operation push_left(std::uint64_t v, bool ok, std::uint64_t inv,
+                    std::uint64_t res) {
+  Operation op;
+  op.type = OpType::kPushLeft;
+  op.arg = v;
+  op.push_ok = ok;
+  op.invoke_seq = inv;
+  op.response_seq = res;
+  return op;
+}
+
 Operation pop_right(bool has, std::uint64_t v, std::uint64_t inv,
                     std::uint64_t res) {
   Operation op;
@@ -171,6 +182,59 @@ TEST(Checker, StateLimitProducesLimitVerdict) {
   EXPECT_EQ(r.verdict, Verdict::kLimitExceeded);
 }
 
+TEST(Checker, LimitVerdictNeverLeaksAWitness) {
+  // The witness contract: non-empty means "complete, replayable
+  // linearization". A budget-exhausted search must not leave its abandoned
+  // DFS prefix there — that prefix goes to partial_witness, explicitly
+  // marked diagnostic.
+  History h;
+  for (int i = 0; i < 12; ++i) {
+    h.ops.push_back(push_right(i, true, 0, 100));
+  }
+  const CheckResult r = check_linearizable(h, 64, /*state_limit=*/3);
+  ASSERT_EQ(r.verdict, Verdict::kLimitExceeded);
+  EXPECT_TRUE(r.witness.empty());
+  EXPECT_FALSE(r.partial_witness.empty());
+  EXPECT_LT(r.partial_witness.size(), h.ops.size());
+  EXPECT_NE(r.message.find("partial linearization prefix"),
+            std::string::npos)
+      << r.message;
+
+  // The partial prefix must itself be a legal linearization prefix:
+  // distinct indices that replay consistently against the spec.
+  SpecDeque spec(64);
+  std::vector<bool> seen(h.ops.size(), false);
+  for (const std::size_t idx : r.partial_witness) {
+    ASSERT_LT(idx, h.ops.size());
+    EXPECT_FALSE(seen[idx]) << "duplicate index in partial witness";
+    seen[idx] = true;
+    EXPECT_TRUE(apply_if_consistent(spec, h.ops[idx]));
+  }
+}
+
+TEST(Checker, LinearizableVerdictLeavesPartialWitnessEmpty) {
+  History h;
+  h.ops.push_back(push_right(1, true, 0, 1));
+  h.ops.push_back(pop_right(true, 1, 2, 3));
+  const CheckResult r = check_linearizable(h, 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.witness.empty());
+  EXPECT_TRUE(r.partial_witness.empty());
+}
+
+TEST(Checker, GenerousBudgetResolvesTheSameHistory) {
+  // The same all-concurrent history that exhausts a 3-state budget
+  // resolves under the default budget — kLimitExceeded really was a
+  // budget artifact, not a verdict.
+  History h;
+  for (int i = 0; i < 12; ++i) {
+    h.ops.push_back(push_right(i, true, 0, 100));
+  }
+  const CheckResult r = check_linearizable(h, 64);
+  EXPECT_EQ(r.verdict, Verdict::kLinearizable);
+  EXPECT_GT(r.states_explored, 3u);
+}
+
 TEST(Checker, WitnessReplaysToSameOutcomes) {
   History h;
   h.ops.push_back(push_right(1, true, 0, 9));
@@ -182,6 +246,33 @@ TEST(Checker, WitnessReplaysToSameOutcomes) {
   SpecDeque spec(8);
   for (const std::size_t idx : r.witness) {
     ASSERT_TRUE(apply_if_consistent(spec, h.ops[idx]));
+  }
+  EXPECT_TRUE(spec.empty());
+}
+
+TEST(Checker, WitnessIsAPermutationAndReproducesEveryOutcome) {
+  // A richer concurrent history with full/empty outcomes: the witness
+  // must visit every op exactly once, and replaying it op by op must
+  // reproduce each *recorded* outcome against a fresh SpecDeque —
+  // apply_if_consistent rejects on any mismatch (push_ok, pop value, or
+  // pop emptiness), so a single ASSERT covers all three.
+  History h;
+  h.ops.push_back(push_right(1, true, 0, 1));    // sequential prefix
+  h.ops.push_back(push_left(7, true, 2, 3));
+  h.ops.push_back(pop_right(true, 1, 4, 9));     // three overlapping ops
+  h.ops.push_back(pop_right(true, 7, 5, 8));
+  h.ops.push_back(pop_left(false, 0, 6, 7));     // loser sees empty
+  const CheckResult r = check_linearizable(h, 2);
+  ASSERT_TRUE(r.ok()) << r.message;
+  ASSERT_EQ(r.witness.size(), h.ops.size());
+  std::vector<bool> seen(h.ops.size(), false);
+  SpecDeque spec(2);
+  for (const std::size_t idx : r.witness) {
+    ASSERT_LT(idx, h.ops.size());
+    EXPECT_FALSE(seen[idx]) << "witness visits op " << idx << " twice";
+    seen[idx] = true;
+    ASSERT_TRUE(apply_if_consistent(spec, h.ops[idx]))
+        << "witness order does not reproduce op " << idx << "'s outcome";
   }
   EXPECT_TRUE(spec.empty());
 }

@@ -13,6 +13,11 @@ docs/STATIC_ANALYSIS.md for the rationale behind each rule):
                           without an adjacent justification comment
   tag-bits-outside-word   reserved-bit constants (kDescriptorBit etc.)
                           manipulated outside dcd/dcas/word.hpp
+  unknown-sync-point      a sync-point name (arm_park("...") in C++, or
+                          expect-shape:/chaos-park: in tests/replays/*.repro)
+                          that is not in chaos.hpp's sync_point roster — a
+                          typo'd point silently never fires, so the rule
+                          also walks tests/ and tools/
 
 Findings can be suppressed via atomics_audit.suppressions (same directory);
 every suppression must carry a one-line justification after `#`.
@@ -72,7 +77,23 @@ RULE_IDS = (
     "raw-new-delete",
     "unjustified-nosanitize",
     "tag-bits-outside-word",
+    "unknown-sync-point",
 )
+
+# The sync-point registry: the roster of valid names is parsed out of the
+# `namespace sync_point { ... }` block here, so the linter never drifts
+# from the source of truth.
+SYNC_POINT_REGISTRY = "src/dcas/include/dcd/dcas/chaos.hpp"
+SYNC_POINT_DECL_RE = re.compile(
+    r'inline\s+constexpr\s+const\s+char\*\s+k\w+\s*=\s*"([a-z_.]+)"')
+
+# Where sync-point *references* live: arm_park("...") calls in any C++
+# source under these directories, and the replay corpus's directive lines.
+SYNC_POINT_CODE_DIRS = ("src", "tests", "tools")
+ARM_PARK_RE = re.compile(r'\barm_park\s*\(\s*"([^"]*)"')
+REPLAY_CORPUS_DIR = "tests/replays"
+REPLAY_POINT_RE = re.compile(
+    r"^\s*(expect-shape|chaos-park)\s*:\s*(\S+)")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -288,6 +309,55 @@ def check_tag_bits_outside_word(path: str, text: str, masked: str,
     return findings
 
 
+def parse_sync_point_roster(registry_text: str) -> set[str]:
+    """Extract the valid sync-point names from chaos.hpp's declarations."""
+    return set(SYNC_POINT_DECL_RE.findall(registry_text))
+
+
+def audit_sync_points_cpp(path: str, text: str,
+                          roster: set[str]) -> list[Finding]:
+    """Flag arm_park("...") string literals naming unknown sync points.
+
+    Works on the *unmasked* text (the names live inside string literals),
+    so references via the sync_point::k* constants are untouched — those
+    are checked by the compiler already.
+    """
+    lines = text.splitlines()
+    findings = []
+    for m in ARM_PARK_RE.finditer(text):
+        point = m.group(1)
+        if point in roster:
+            continue
+        lineno = line_of(text, m.start())
+        findings.append(Finding(
+            path, lineno, "unknown-sync-point",
+            f'arm_park("{point}") names a sync point missing from '
+            f"{SYNC_POINT_REGISTRY}'s roster — the rule would never fire "
+            f"(known: {', '.join(sorted(roster))})",
+            line_text_at(lines, lineno)))
+    return findings
+
+
+def audit_sync_points_replay(path: str, text: str,
+                             roster: set[str]) -> list[Finding]:
+    """Flag expect-shape:/chaos-park: directives naming unknown points."""
+    findings = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = REPLAY_POINT_RE.match(line)
+        if m is None:
+            continue
+        directive, point = m.group(1), m.group(2)
+        if point in roster:
+            continue
+        findings.append(Finding(
+            path, lineno, "unknown-sync-point",
+            f"{directive}: names '{point}', which is missing from "
+            f"{SYNC_POINT_REGISTRY}'s roster — the expectation/park could "
+            "never match",
+            line))
+    return findings
+
+
 CHECKS = (
     check_implicit_seq_cst,
     check_raw_new_delete,
@@ -372,6 +442,21 @@ def collect_files(root: pathlib.Path) -> list[pathlib.Path]:
     return files
 
 
+def collect_sync_point_files(
+        root: pathlib.Path) -> tuple[list[pathlib.Path], list[pathlib.Path]]:
+    """C++ sources that may call arm_park, and the replay corpus files."""
+    cpp = []
+    for d in SYNC_POINT_CODE_DIRS:
+        base = root / d
+        if base.is_dir():
+            cpp.extend(p for p in sorted(base.rglob("*"))
+                       if p.suffix in SOURCE_EXTENSIONS and p.is_file())
+    corpus_dir = root / REPLAY_CORPUS_DIR
+    corpus = (sorted(corpus_dir.glob("*.repro"))
+              if corpus_dir.is_dir() else [])
+    return cpp, corpus
+
+
 def run_audit(root: pathlib.Path, suppression_path: pathlib.Path,
               verbose: bool) -> int:
     sups: list[Suppression] = []
@@ -383,6 +468,22 @@ def run_audit(root: pathlib.Path, suppression_path: pathlib.Path,
     for p in files:
         rel = p.relative_to(root).as_posix()
         findings.extend(audit_text(rel, p.read_text()))
+
+    registry = root / SYNC_POINT_REGISTRY
+    if not registry.is_file():
+        config_error(f"sync-point registry missing: {registry}")
+    roster = parse_sync_point_roster(registry.read_text())
+    if not roster:
+        config_error(f"no sync-point declarations found in {registry} "
+                     "(did the declaration style change?)")
+    cpp_files, corpus_files = collect_sync_point_files(root)
+    for p in cpp_files:
+        rel = p.relative_to(root).as_posix()
+        findings.extend(audit_sync_points_cpp(rel, p.read_text(), roster))
+    for p in corpus_files:
+        rel = p.relative_to(root).as_posix()
+        findings.extend(audit_sync_points_replay(rel, p.read_text(), roster))
+    files = sorted(set(files) | set(cpp_files) | set(corpus_files))
     total = len(findings)
     findings = apply_suppressions(findings, sups)
     for f in findings:
@@ -501,6 +602,33 @@ def self_test() -> int:
     left = apply_suppressions(bits, sups)
     if [f.rule for f in left] != ["implicit-seq-cst"]:
         failures.append("wildcard suppression scope wrong")
+
+    # unknown-sync-point: the roster parses out of registry-style text, a
+    # typo'd arm_park is flagged, valid names and constant references pass.
+    roster = parse_sync_point_roster(
+        'inline constexpr const char* kDcasAny = "dcas.any";\n'
+        'inline constexpr const char* kLogicalDelete = '
+        '"pop.logical_delete";\n')
+    if roster != {"dcas.any", "pop.logical_delete"}:
+        failures.append(f"roster parse wrong: {roster}")
+    got = [f.rule for f in audit_sync_points_cpp(
+        "tests/chaos_list_test.cpp",
+        'c.arm_park("pop.logical_delete", 1);\n'
+        'c.arm_park("pop.logical_delte", 1);\n'  # typo: must be flagged
+        "c.arm_park(dcd::dcas::sync_point::kDcasAny, 1);\n",
+        roster)]
+    if got != ["unknown-sync-point"]:
+        failures.append(f"arm_park scan wrong: {got}")
+    got = [f.rule for f in audit_sync_points_replay(
+        "tests/replays/x.repro",
+        "expect-shape: dcas.any >= 1\n"
+        "chaos-park: pop.logical_delete 1\n"
+        "expect-shape: delete.two_nul_splice >= 1\n"  # typo: flagged
+        "chaos-park: pop.logicaldelete 2\n"           # typo: flagged
+        "schedule: 0 1 0\n",
+        roster)]
+    if got != ["unknown-sync-point", "unknown-sync-point"]:
+        failures.append(f"replay directive scan wrong: {got}")
 
     if failures:
         for f in failures:

@@ -1,0 +1,172 @@
+// Command-line front end for the DCAS model checker.
+//
+//   mc_cli list                       — builtin scenario roster
+//   mc_cli explore <name> [--full] [--no-minimize] [--out FILE]
+//                                     — explore one scenario; on violation
+//                                       write a replay file (default
+//                                       <name>.repro)
+//   mc_cli replay <file> [--chaos]    — re-run a replay file through the
+//                                       scheduled runtime or on real
+//                                       threads under ChaosDcas
+//   mc_cli suite                      — the CI job: explore every builtin,
+//                                       print state/transition counts
+//
+// Exit code 0 = clean / expectations held, 1 = violation / mismatch,
+// 2 = usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dcd/dcas/chaos.hpp"
+#include "dcd/mc/explorer.hpp"
+#include "dcd/mc/replay.hpp"
+#include "dcd/mc/scenario.hpp"
+
+namespace {
+
+using namespace dcd;
+
+void print_stats(const mc::ExploreStats& st) {
+  std::printf("  executions=%llu pruned=%llu transitions=%llu "
+              "states=%llu max_depth=%llu\n",
+              static_cast<unsigned long long>(st.executions),
+              static_cast<unsigned long long>(st.pruned_executions),
+              static_cast<unsigned long long>(st.transitions),
+              static_cast<unsigned long long>(st.distinct_states),
+              static_cast<unsigned long long>(st.max_depth));
+  for (std::size_t s = 0; s < dcas::kDcasShapeCount; ++s) {
+    if (st.shape_steps[s] == 0) continue;
+    std::printf("  shape %-22s steps=%llu executions=%llu\n",
+                dcas::shape_name(static_cast<dcas::DcasShape>(s)),
+                static_cast<unsigned long long>(st.shape_steps[s]),
+                static_cast<unsigned long long>(st.shape_executions[s]));
+  }
+  if (st.two_deleted_states > 0) {
+    std::printf("  two-deleted states=%llu\n",
+                static_cast<unsigned long long>(st.two_deleted_states));
+  }
+}
+
+int cmd_list() {
+  for (const mc::Scenario& sc : mc::builtin_scenarios()) {
+    std::printf("%s\n  %s\n", sc.name.c_str(), sc.describe().c_str());
+  }
+  return 0;
+}
+
+int explore_one(const mc::Scenario& sc, const mc::ExplorerOptions& opt,
+                const std::string& out_path) {
+  const mc::ExploreResult res = mc::explore(sc, opt);
+  std::printf("%s: %s (%s)\n", sc.name.c_str(),
+              res.ok ? "ok" : "VIOLATION",
+              res.complete ? "complete" : "incomplete");
+  print_stats(res.stats);
+  std::printf("  distinct outcomes=%zu\n", res.distinct_outcomes.size());
+  if (!res.message.empty()) std::printf("  %s\n", res.message.c_str());
+  if (res.ok) return 0;
+
+  const mc::ReplayFile file = mc::make_counterexample(sc, res.violation);
+  const std::string path = out_path.empty() ? sc.name + ".repro" : out_path;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 2;
+  }
+  out << serialize_replay(file);
+  std::printf("  counterexample written to %s "
+              "(schedule of %zu grants, minimized from %zu)\n",
+              path.c_str(), res.violation.minimized_schedule.size(),
+              res.violation.schedule.size());
+  return 1;
+}
+
+int cmd_explore(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "explore: scenario name required\n");
+    return 2;
+  }
+  mc::Scenario sc;
+  if (!mc::find_builtin(args[0], sc)) {
+    std::fprintf(stderr, "unknown scenario '%s' (try 'list')\n",
+                 args[0].c_str());
+    return 2;
+  }
+  mc::ExplorerOptions opt;
+  std::string out_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--full") {
+      opt.mode = mc::SearchMode::kFull;
+    } else if (args[i] == "--no-minimize") {
+      opt.minimize = false;
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--mutation" && i + 1 < args.size()) {
+      if (!mc::mutation_from_name(args[++i].c_str(), sc.mutation)) {
+        std::fprintf(stderr, "unknown mutation '%s'\n", args[i].c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "explore: bad flag '%s'\n", args[i].c_str());
+      return 2;
+    }
+  }
+  return explore_one(sc, opt, out_path);
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "replay: file required\n");
+    return 2;
+  }
+  bool chaos = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--chaos") {
+      chaos = true;
+    } else {
+      std::fprintf(stderr, "replay: bad flag '%s'\n", args[i].c_str());
+      return 2;
+    }
+  }
+  mc::ReplayFile file;
+  std::string error;
+  if (!mc::load_replay_file(args[0], file, error)) {
+    std::fprintf(stderr, "replay: %s\n", error.c_str());
+    return 2;
+  }
+  const mc::ReplayOutcome out =
+      chaos ? mc::run_replay_chaos(file) : mc::run_replay(file);
+  std::printf("%s [%s]: %s\n", args[0].c_str(),
+              chaos ? "chaos" : "scheduled", out.message.c_str());
+  return out.ok ? 0 : 1;
+}
+
+int cmd_suite() {
+  int rc = 0;
+  for (const mc::Scenario& sc : mc::builtin_scenarios()) {
+    const int one = explore_one(sc, mc::ExplorerOptions{}, "");
+    if (one != 0) rc = one;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: mc_cli list | explore <name> [--full] "
+                 "[--no-minimize] [--out FILE] | replay <file> [--chaos] | "
+                 "suite\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "list") return cmd_list();
+  if (cmd == "explore") return cmd_explore(args);
+  if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "suite") return cmd_suite();
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
