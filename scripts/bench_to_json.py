@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Run a google-benchmark binary and distill its JSON output into a compact,
+diff-friendly artifact for the recorded perf trajectory (BENCH_*.json).
+
+Usage:
+    scripts/bench_to_json.py BINARY -o BENCH_foo.json \
+        [--filter REGEX] [--min-time SECONDS] [--repetitions N] [--label TEXT]
+    scripts/bench_to_json.py --from-json raw.json -o BENCH_foo.json
+
+The first form runs BINARY with --benchmark_format=json (plus repetitions
+and random interleaving when requested) and distills stdout. The second
+form distills an existing --benchmark_out file instead of running anything.
+
+Output schema (documented in EXPERIMENTS.md, "Recorded benchmark JSON"):
+
+    {
+      "schema": 1,
+      "binary": "bench_e11_allocation",
+      "label": "optional free-text note",
+      "date": "2026-08-05T12:34:56",         # from benchmark's own context
+      "context": {
+        "num_cpus": 1, "mhz_per_cpu": 2100,
+        "library_build_type": "debug", "load_avg": [..]
+      },
+      "benchmarks": [
+        {
+          "name": "E11_DequeMixed/list_mcas_magazine/real_time/threads:4",
+          "threads": 4,
+          "aggregate": "median",              # absent for single-rep rows
+          "real_time_ns": 1617.2,
+          "cpu_time_ns": 1669.0,
+          "iterations": 86720,
+          "items_per_second": 618327.0,
+          "counters": {"magazine_hit/op": 0.4861, ...}
+        }, ...
+      ]
+    }
+
+When the run used --repetitions, only mean/median/stddev aggregate rows are
+kept (the per-rep rows are noise we deliberately do not record); otherwise
+every row is kept. Counters are every user counter except items_per_second.
+"""
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+
+# Google-benchmark reports these outside "counters"; everything else in a
+# benchmark entry that is numeric goes into our "counters" map.
+STANDARD_KEYS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "aggregate_name", "aggregate_unit", "family_index",
+    "per_family_instance_index", "items_per_second", "label",
+    "error_occurred", "error_message",
+}
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def run_binary(args: argparse.Namespace) -> dict:
+    # The binaries print informational lines (topology banner) to stdout,
+    # which would corrupt --benchmark_format=json; have the library write
+    # its JSON to a file instead.
+    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+        cmd = [
+            args.binary,
+            f"--benchmark_out={tmp.name}",
+            "--benchmark_out_format=json",
+        ]
+        if args.filter:
+            cmd.append(f"--benchmark_filter={args.filter}")
+        if args.min_time is not None:
+            cmd.append(f"--benchmark_min_time={args.min_time}")
+        if args.repetitions and args.repetitions > 1:
+            cmd += [
+                f"--benchmark_repetitions={args.repetitions}",
+                # Interleave A/B repetitions so slow drift (thermal, noisy
+                # neighbours) does not bias one configuration.
+                "--benchmark_enable_random_interleaving=true",
+            ]
+        subprocess.run(cmd, check=True, capture_output=True, text=True)
+        with open(tmp.name) as f:
+            return json.load(f)
+
+
+def distill(raw: dict, binary: str, label: str) -> dict:
+    ctx = raw.get("context", {})
+    rows = raw.get("benchmarks", [])
+    has_aggregates = any(r.get("run_type") == "aggregate" for r in rows)
+    kept = []
+    for r in rows:
+        if has_aggregates and r.get("run_type") != "aggregate":
+            continue
+        if r.get("aggregate_name") == "cv":
+            continue  # redundant with stddev/mean
+        scale = UNIT_TO_NS.get(r.get("time_unit", "ns"), 1.0)
+        entry = {
+            "name": r.get("run_name", r["name"]),
+            "threads": r.get("threads", 1),
+            "real_time_ns": round(r["real_time"] * scale, 3),
+            "cpu_time_ns": round(r["cpu_time"] * scale, 3),
+            "iterations": r["iterations"],
+        }
+        if r.get("aggregate_name"):
+            entry["aggregate"] = r["aggregate_name"]
+        if "items_per_second" in r:
+            entry["items_per_second"] = round(r["items_per_second"], 3)
+        counters = {
+            k: round(v, 9)
+            for k, v in r.items()
+            if k not in STANDARD_KEYS and isinstance(v, (int, float))
+        }
+        if counters:
+            entry["counters"] = counters
+        kept.append(entry)
+    doc = {
+        "schema": 1,
+        "binary": binary,
+        "date": ctx.get("date", ""),
+        "context": {
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "library_build_type": ctx.get("library_build_type"),
+            "load_avg": ctx.get("load_avg"),
+        },
+        "benchmarks": kept,
+    }
+    if label:
+        doc["label"] = label
+    return doc
+
+
+def main() -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("binary", nargs="?", help="benchmark binary to run")
+    p.add_argument("--from-json", help="distill an existing raw JSON file")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--filter", help="--benchmark_filter regex")
+    p.add_argument("--min-time", type=float, help="--benchmark_min_time")
+    p.add_argument("--repetitions", type=int, default=0)
+    p.add_argument("--label", default="", help="free-text note for the doc")
+    args = p.parse_args()
+    if bool(args.binary) == bool(args.from_json):
+        p.error("exactly one of BINARY or --from-json is required")
+    if args.from_json:
+        with open(args.from_json) as f:
+            raw = json.load(f)
+        name = raw.get("context", {}).get("executable", args.from_json)
+    else:
+        raw = run_binary(args)
+        name = args.binary
+    name = re.sub(r".*/", "", name)
+    doc = distill(raw, name, args.label)
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"{args.output}: {len(doc['benchmarks'])} rows from {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

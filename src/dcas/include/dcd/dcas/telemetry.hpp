@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "dcd/util/align.hpp"
+
 namespace dcd::dcas {
 
 struct Counters {
@@ -35,6 +37,14 @@ struct Counters {
     return *this;
   }
 };
+
+// The per-thread blocks are stored as util::CacheAligned<Counters>
+// (telemetry.cpp): each slot must fill at most its own line, or two
+// threads' hot counters start sharing one and every policy op pays a
+// coherence miss. Growing Counters past 8 fields means widening the
+// padding scheme, not silently spilling.
+static_assert(sizeof(Counters) <= util::kCacheLineSize,
+              "Counters must fit one cache line — see telemetry.cpp");
 
 class Telemetry {
  public:

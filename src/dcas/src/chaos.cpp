@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "dcd/reclaim/magazine_pool.hpp"
 #include "dcd/util/align.hpp"
 #include "dcd/util/assert.hpp"
 #include "dcd/util/backoff.hpp"
@@ -16,6 +17,17 @@
 namespace dcd::dcas {
 
 namespace {
+
+// Bridges reclaim::magazine_hook() (the reclaim layer cannot see chaos)
+// to the active controller. Installed on first controller construction and
+// left in place: with no controller it is one acquire() check, and the
+// magazine only fires it on refill/flush slow paths.
+void magazine_trampoline(const char* point) {
+  if (ChaosController* c = ChaosController::acquire()) {
+    c->notify(point);
+    ChaosController::unpin();
+  }
+}
 
 // FNV-1a fold of one decision word into a running digest.
 constexpr std::uint64_t fnv1a(std::uint64_t digest, std::uint64_t word) {
@@ -38,6 +50,10 @@ const char* shape_name(DcasShape s) noexcept {
     case DcasShape::kLogicalDelete: return sync_point::kLogicalDelete;
     case DcasShape::kSplice: return sync_point::kSplice;
     case DcasShape::kTwoNullSplice: return sync_point::kTwoNullSplice;
+    case DcasShape::kElimOffer: return sync_point::kElimOffer;
+    case DcasShape::kElimTake: return sync_point::kElimTake;
+    case DcasShape::kElimCancel: return sync_point::kElimCancel;
+    case DcasShape::kElimClear: return sync_point::kElimClear;
     case DcasShape::kCount_: break;
   }
   return "?";
@@ -155,6 +171,8 @@ struct ChaosController::Impl {
 
 ChaosController::ChaosController(const ChaosSchedule& schedule)
     : impl_(new Impl(schedule)), schedule_(schedule) {
+  reclaim::magazine_hook().store(&magazine_trampoline,
+                                 std::memory_order_release);
   ChaosController* expected = nullptr;
   const bool installed =
       active_.compare_exchange_strong(expected, this,
@@ -293,6 +311,34 @@ void ChaosController::after_dcas(DcasShape s, bool ok) noexcept {
     default:
       break;
   }
+}
+
+void ChaosController::before_cas(DcasShape s) noexcept {
+  Impl::ThreadState& t = impl_->self();
+  t.fingerprint = fnv1a(t.fingerprint, static_cast<std::uint64_t>(s) | 0x20);
+  impl_->attempts[static_cast<std::size_t>(s)].fetch_add(
+      1, std::memory_order_relaxed);
+  impl_->maybe_delay(t);
+  switch (s) {
+    case DcasShape::kElimOffer:
+    case DcasShape::kElimCancel:
+    case DcasShape::kElimClear:
+      impl_->fire(shape_name(s));
+      break;
+    default:
+      break;
+  }
+}
+
+void ChaosController::after_cas(DcasShape s, bool ok) noexcept {
+  if (!ok) return;
+  impl_->successes[static_cast<std::size_t>(s)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (s == DcasShape::kElimTake) impl_->fire(shape_name(s));
+}
+
+void ChaosController::notify(const char* point) noexcept {
+  impl_->fire(point);
 }
 
 }  // namespace dcd::dcas

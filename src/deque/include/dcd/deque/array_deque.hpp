@@ -77,7 +77,7 @@ class ArrayDeque {
   // Figure 3.
   PushResult push_right(T v) {
     const std::uint64_t vw = Codec::encode(v);
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_r = Dcas::load(*r_);             // line 3
       const std::size_t r = index_of(old_r);
@@ -111,7 +111,7 @@ class ArrayDeque {
   // Figure 31 (left-hand mirror of Figure 3).
   PushResult push_left(T v) {
     const std::uint64_t vw = Codec::encode(v);
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_l = Dcas::load(*l_);
       const std::size_t l = index_of(old_l);
@@ -144,7 +144,7 @@ class ArrayDeque {
 
   // Figure 2.
   std::optional<T> pop_right() {
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_r = Dcas::load(*r_);             // line 3
       const std::size_t new_r_i = mod_dec(index_of(old_r));    // line 4
@@ -179,7 +179,7 @@ class ArrayDeque {
 
   // Figure 30 (left-hand mirror of Figure 2).
   std::optional<T> pop_left() {
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_l = Dcas::load(*l_);
       const std::size_t new_l_i = mod_inc(index_of(old_l));

@@ -1,0 +1,111 @@
+// Per-end elimination arrays for the list deque (DESIGN.md §13).
+//
+// Under same-end contention, a failed push and a failed pop are trying to
+// move a value *through* the sentinel word they are fighting over. The
+// classic elimination observation (Hendler/Shavit-style) is that they can
+// instead exchange the value directly: a push immediately followed by a
+// pop at the same end is a no-op pair returning the pushed value in *any*
+// deque state, so the pair can linearize back-to-back at a point of our
+// choosing without consulting the rest of the structure.
+//
+// Slot protocol (every transition is a single-word CAS through the policy
+// layer, so ChaosDcas/SchedDcas classify and schedule it — see
+// classify_cas in dcd/dcas/chaos.hpp):
+//
+//            pusher CAS               popper CAS          pusher CAS
+//   kNull ───"elim.offer"──▶ offer ───"elim.take"──▶ kElimTaken ──"elim.clear"──▶ kNull
+//                              │
+//                              └──pusher CAS "elim.cancel"──▶ kNull
+//
+//   * offer      = encode_elim_offer(value word): the encoded value tagged
+//                  with kDeletedBit, disjoint from kNull/kElimTaken
+//                  (special bit) and descriptors (descriptor bit).
+//   * The popper's successful take CAS is the linearization point of BOTH
+//     operations: the push linearizes immediately before the pop there.
+//   * Exactly one of {cancel, take} succeeds on a given offer, so the
+//     value is transferred exactly once; after a lost cancel the slot
+//     holds kElimTaken, which only the offering pusher may clear — the
+//     clear CAS therefore cannot fail.
+//
+// The array never touches the sentinel words and is scanned only from
+// retry paths (after a failed DCAS), so the uncontended deque path
+// executes zero additional policy calls.
+#pragma once
+
+#include <cstdint>
+
+#include "dcd/dcas/concepts.hpp"
+#include "dcd/dcas/word.hpp"
+#include "dcd/util/align.hpp"
+#include "dcd/util/assert.hpp"
+#include "dcd/util/backoff.hpp"
+
+namespace dcd::deque {
+
+// Hard cap on ListOptions::elim_slots (keeps the in-object array bounded).
+inline constexpr std::uint32_t kMaxElimSlots = 8;
+
+template <dcas::DcasPolicy Dcas>
+class EliminationEnd {
+ public:
+  EliminationEnd() noexcept {
+    for (auto& s : slots_) {
+      Dcas::store_init(*s, dcas::kNull);
+    }
+  }
+
+  EliminationEnd(const EliminationEnd&) = delete;
+  EliminationEnd& operator=(const EliminationEnd&) = delete;
+
+  // Pusher side: try to hand the encoded value word to a concurrent
+  // same-end popper. True = a popper consumed it (the push is complete);
+  // false = no exchange happened and the value word is still the caller's.
+  bool offer(std::uint64_t value_word, std::uint32_t slots,
+             std::uint32_t polls) noexcept {
+    const std::uint64_t off = dcas::encode_elim_offer(value_word);
+    const std::uint32_t n = slots < kMaxElimSlots ? slots : kMaxElimSlots;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      dcas::Word& w = *slots_[i];
+      if (Dcas::load(w) != dcas::kNull) continue;
+      if (!Dcas::cas(w, dcas::kNull, off)) continue;  // elim.offer
+      for (std::uint32_t p = 0; p < polls; ++p) {
+        if (Dcas::load(w) == dcas::kElimTaken) break;
+        util::cpu_relax();
+      }
+      if (Dcas::cas(w, off, dcas::kNull)) return false;  // elim.cancel won
+      // The cancel lost, so a popper's take committed: reclaim the slot.
+      const bool cleared = Dcas::cas(w, dcas::kElimTaken, dcas::kNull);
+      DCD_DEBUG_ASSERT(cleared && "only the offerer clears kElimTaken");
+      (void)cleared;
+      return true;
+    }
+    return false;
+  }
+
+  // Popper side: try to consume a pending same-end offer. On success the
+  // taken value word is written to *value_word and true returned.
+  bool take(std::uint32_t slots, std::uint64_t* value_word) noexcept {
+    const std::uint32_t n = slots < kMaxElimSlots ? slots : kMaxElimSlots;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      dcas::Word& w = *slots_[i];
+      const std::uint64_t cur = Dcas::load(w);
+      if (!dcas::is_elim_offer(cur)) continue;
+      if (Dcas::cas(w, cur, dcas::kElimTaken)) {  // elim.take — lin. point
+        *value_word = dcas::elim_offer_value(cur);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  // Each slot on its own line: two threads exchanging through slot 0 must
+  // not invalidate a pair working slot 1.
+  util::CacheAligned<dcas::Word> slots_[kMaxElimSlots];
+};
+
+// Storage-free stand-in when ListOptions::elimination is off, so the
+// disabled configuration pays no footprint.
+struct EliminationDisabled {};
+
+}  // namespace dcd::deque

@@ -36,9 +36,11 @@
 #include "dcd/dcas/concepts.hpp"
 #include "dcd/dcas/policies.hpp"
 #include "dcd/dcas/word.hpp"
+#include "dcd/deque/elimination.hpp"
 #include "dcd/deque/types.hpp"
 #include "dcd/deque/value_codec.hpp"
 #include "dcd/reclaim/concepts.hpp"
+#include "dcd/reclaim/magazine_pool.hpp"
 #include "dcd/reclaim/node_pool.hpp"
 #include "dcd/reclaim/policies.hpp"
 #include "dcd/util/align.hpp"
@@ -47,8 +49,14 @@
 
 namespace dcd::deque {
 
+// Pool defaults to the per-thread magazine layer (DESIGN.md §13): the
+// shared-free-list serialization the paper never had (it assumed GC) would
+// otherwise dominate before the DCAS contention the paper reasons about.
+// Opt (NTTP, like ArrayDeque's ArrayOptions) gates the elimination layer.
 template <typename T, dcas::DcasPolicy Dcas = dcas::DefaultDcas,
-          reclaim::ReclaimPolicy Reclaim = reclaim::EbrReclaim>
+          reclaim::ReclaimPolicy Reclaim = reclaim::EbrReclaim,
+          reclaim::PoolPolicy Pool = reclaim::MagazinePool,
+          ListOptions Opt = ListOptions{}>
 class ListDeque {
   static_assert(dcas::DcasPolicy<Dcas>,
                 "ListDeque requires a policy providing both Figure 1 DCAS "
@@ -58,10 +66,13 @@ class ListDeque {
                 "policy (see dcd/reclaim/concepts.hpp)");
   static_assert(std::is_trivially_copyable_v<T>,
                 "values are stored as raw 61-bit word payloads");
+  static_assert(!Opt.elimination || Opt.elim_slots >= 1,
+                "an enabled elimination layer needs at least one slot");
 
  public:
   using value_type = T;
   using Codec = ValueCodec<T>;
+  static constexpr ListOptions kOptions = Opt;
 
   // `max_nodes` bounds live + not-yet-reclaimed nodes (the paper's deque is
   // unbounded given an unbounded allocator; a fixed pool makes allocation
@@ -95,9 +106,9 @@ class ListDeque {
   // Figure 13.
   PushResult push_right(T v) {
     typename Reclaim::Guard guard(reclaimer_);
-    Node* node = static_cast<Node*>(pool_.allocate());  // line 2
+    Node* node = allocate_node();                       // line 2
     if (node == nullptr) return PushResult::kFull;      // line 3
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_l = Dcas::load(sr_.left);  // line 6
       if (dcas::deleted_of(old_l)) {                     // line 7
@@ -115,6 +126,16 @@ class ListDeque {
                      ptr(node, false), ptr(node, false))) {  // lines 16-17
         return PushResult::kOkay;                        // line 18
       }
+      if constexpr (Opt.elimination) {
+        if (elim_r_.offer(Codec::encode(v), Opt.elim_slots, Opt.elim_polls)) {
+          // A same-end popper consumed the value (lin. point: its take
+          // CAS). The private node was never published; it still must go
+          // through EBR, not straight back to the free list — the
+          // pop-pop-push ABA note in list_deque_dummy.hpp applies as-is.
+          reclaimer_.retire(node, pool_);
+          return PushResult::kOkay;
+        }
+      }
       backoff.pause();
     }
   }
@@ -122,9 +143,9 @@ class ListDeque {
   // Figure 33 (mirror; erratum: the new node's L points at SL).
   PushResult push_left(T v) {
     typename Reclaim::Guard guard(reclaimer_);
-    Node* node = static_cast<Node*>(pool_.allocate());
+    Node* node = allocate_node();
     if (node == nullptr) return PushResult::kFull;
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_r = Dcas::load(sl_.right);
       if (dcas::deleted_of(old_r)) {
@@ -140,6 +161,12 @@ class ListDeque {
                      ptr(node, false), ptr(node, false))) {
         return PushResult::kOkay;
       }
+      if constexpr (Opt.elimination) {
+        if (elim_l_.offer(Codec::encode(v), Opt.elim_slots, Opt.elim_polls)) {
+          reclaimer_.retire(node, pool_);
+          return PushResult::kOkay;
+        }
+      }
       backoff.pause();
     }
   }
@@ -147,7 +174,7 @@ class ListDeque {
   // Figure 11.
   std::optional<T> pop_right() {
     typename Reclaim::Guard guard(reclaimer_);
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_l = Dcas::load(sr_.left);   // line 3
       Node* node = dcas::pointer_of<Node>(old_l);
@@ -168,6 +195,14 @@ class ListDeque {
           return Codec::decode(v);                        // line 18
         }
       }
+      if constexpr (Opt.elimination) {
+        // Retry path only: exchange with a same-end pusher also in
+        // backoff. Both ops linearize at this take CAS (DESIGN.md §13).
+        std::uint64_t taken = 0;
+        if (elim_r_.take(Opt.elim_slots, &taken)) {
+          return Codec::decode(taken);
+        }
+      }
       backoff.pause();
     }
   }
@@ -175,7 +210,7 @@ class ListDeque {
   // Figure 32 (mirror; erratum: line 4 dereferences oldR).
   std::optional<T> pop_left() {
     typename Reclaim::Guard guard(reclaimer_);
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_r = Dcas::load(sl_.right);
       Node* node = dcas::pointer_of<Node>(old_r);
@@ -192,6 +227,12 @@ class ListDeque {
         if (Dcas::dcas(sl_.right, node->value, old_r, v, new_r,
                        dcas::kNull)) {
           return Codec::decode(v);
+        }
+      }
+      if constexpr (Opt.elimination) {
+        std::uint64_t taken = 0;
+        if (elim_l_.take(Opt.elim_slots, &taken)) {
+          return Codec::decode(taken);
         }
       }
       backoff.pause();
@@ -330,7 +371,7 @@ class ListDeque {
     return view;
   }
 
-  const reclaim::NodePool& pool() const noexcept { return pool_; }
+  const Pool& pool() const noexcept { return pool_; }
   Reclaim& reclaimer() noexcept { return reclaimer_; }
 
  private:
@@ -349,9 +390,23 @@ class ListDeque {
     return dcas::encode_pointer(n, deleted);
   }
 
+  // Footnote 3: report "full" only when memory is truly exhausted. A failed
+  // allocate often just means every free node is parked in EBR limbo
+  // awaiting its grace period — and the moment pushes start failing, pops
+  // stop retiring, so nothing else would ever trigger a drain again (the
+  // deque ratchets into a permanent full-and-empty no-op state; E11 caught
+  // this). Prompt a collect (epoch advance + own-slot drain) and retry
+  // once; repeated failing pushes re-enter at fresh epochs, so the limbo
+  // ages out across calls even though one collect advances at most once.
+  Node* allocate_node() {
+    if (void* p = pool_.allocate()) return static_cast<Node*>(p);
+    reclaimer_.collect();
+    return static_cast<Node*>(pool_.allocate());
+  }
+
   // Figure 17.
   void delete_right() {
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_l = Dcas::load(sr_.left);    // line 3
       if (!dcas::deleted_of(old_l)) return;                // line 4
@@ -390,7 +445,7 @@ class ListDeque {
 
   // Figure 34 (mirror).
   void delete_left() {
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_r = Dcas::load(sl_.right);
       if (!dcas::deleted_of(old_r)) return;
@@ -424,10 +479,15 @@ class ListDeque {
 
   // Declaration order matters: the reclaimer is destroyed before the pool,
   // force-draining limbo nodes back into the slab before it is released.
-  reclaim::NodePool pool_;
+  Pool pool_;
   Reclaim reclaimer_;
   alignas(util::kCacheLineSize) Node sl_;
   alignas(util::kCacheLineSize) Node sr_;
+  // Per-end elimination arrays; storage-free when the layer is off.
+  using ElimEnd = std::conditional_t<Opt.elimination, EliminationEnd<Dcas>,
+                                     EliminationDisabled>;
+  [[no_unique_address]] ElimEnd elim_l_;
+  [[no_unique_address]] ElimEnd elim_r_;
 };
 
 }  // namespace dcd::deque

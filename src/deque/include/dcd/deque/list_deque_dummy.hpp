@@ -94,9 +94,9 @@ class ListDequeDummy {
 
   PushResult push_right(T v) {
     typename Reclaim::Guard guard(reclaimer_);
-    Node* node = static_cast<Node*>(pool_.allocate());
+    Node* node = allocate_node();
     if (node == nullptr) return PushResult::kFull;
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_l = Dcas::load(sr_.left);
       Node* neighbor = dcas::pointer_of<Node>(old_l);
@@ -117,9 +117,9 @@ class ListDequeDummy {
 
   PushResult push_left(T v) {
     typename Reclaim::Guard guard(reclaimer_);
-    Node* node = static_cast<Node*>(pool_.allocate());
+    Node* node = allocate_node();
     if (node == nullptr) return PushResult::kFull;
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_r = Dcas::load(sl_.right);
       Node* neighbor = dcas::pointer_of<Node>(old_r);
@@ -140,7 +140,7 @@ class ListDequeDummy {
 
   std::optional<T> pop_right() {
     typename Reclaim::Guard guard(reclaimer_);
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_l = Dcas::load(sr_.left);
       Node* pointee = dcas::pointer_of<Node>(old_l);
@@ -159,7 +159,7 @@ class ListDequeDummy {
       } else {
         // Logical delete: swing SR->L to a fresh dummy targeting pointee
         // while nulling the value — one DCAS, exactly as with the bit.
-        Node* dummy = static_cast<Node*>(pool_.allocate());
+        Node* dummy = allocate_node();
         if (dummy == nullptr) {
           // Cannot represent the deleted state; treat like allocation
           // failure on push (footnote 3's spirit): report empty only if
@@ -186,7 +186,7 @@ class ListDequeDummy {
 
   std::optional<T> pop_left() {
     typename Reclaim::Guard guard(reclaimer_);
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_r = Dcas::load(sl_.right);
       Node* pointee = dcas::pointer_of<Node>(old_r);
@@ -202,7 +202,7 @@ class ListDequeDummy {
           return std::nullopt;
         }
       } else {
-        Node* dummy = static_cast<Node*>(pool_.allocate());
+        Node* dummy = allocate_node();
         if (dummy == nullptr) {
           backoff.pause();
           continue;
@@ -318,6 +318,18 @@ class ListDequeDummy {
     return dcas::encode_pointer(n, /*deleted=*/false);
   }
 
+  // Footnote 3 contract (see ListDeque::allocate_node): a failed allocate
+  // may only mean the free list is parked in EBR limbo; once pushes fail,
+  // nothing retires, so no retire-triggered drain would ever run again.
+  // Prompt a collect and retry once before reporting exhaustion. The pop
+  // paths need this even more than the pushes — a pop that cannot allocate
+  // its dummy spins, so a stuck limbo would livelock it outright.
+  Node* allocate_node() {
+    if (void* p = pool_.allocate()) return static_cast<Node*>(p);
+    reclaimer_.collect();
+    return static_cast<Node*>(pool_.allocate());
+  }
+
   static bool is_dummy(const Node* n) noexcept {
     return n->value.raw.load(std::memory_order_acquire) == dcas::kDummy;
   }
@@ -346,7 +358,7 @@ class ListDequeDummy {
   // Figure 17 with the dummy encoding: SR->L == D(dummy->X) plays the role
   // of {X, deleted=1}.
   void delete_right() {
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_l = Dcas::load(sr_.left);
       Node* dummy = dcas::pointer_of<Node>(old_l);
@@ -385,7 +397,7 @@ class ListDequeDummy {
   }
 
   void delete_left() {
-    util::Backoff backoff;
+    util::AdaptiveBackoff::Session backoff;
     for (;;) {
       const std::uint64_t old_r = Dcas::load(sl_.right);
       Node* dummy = dcas::pointer_of<Node>(old_r);

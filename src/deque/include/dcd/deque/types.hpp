@@ -33,6 +33,23 @@ struct ArrayOptions {
   constexpr bool operator==(const ArrayOptions&) const = default;
 };
 
+// Optional scalability layers for the list deque (NTTP, like ArrayOptions).
+// Everything defaults off so `ListDeque<T>` stays byte-for-byte the paper's
+// algorithm; the elimination layer is the documented extension of
+// DESIGN.md §13.
+struct ListOptions {
+  // Per-end elimination arrays: a same-end push and pop that are both in
+  // backoff exchange values directly, never touching the sentinel words.
+  bool elimination = false;
+  // Words per end scanned for an exchange partner (capped by the
+  // implementation's kMaxElimSlots).
+  std::uint32_t elim_slots = 4;
+  // How many polls a pusher waits on an installed offer before cancelling.
+  std::uint32_t elim_polls = 64;
+
+  constexpr bool operator==(const ListOptions&) const = default;
+};
+
 // --- representation views (input to verify::RepAuditor) -------------------
 //
 // Structural snapshots of a deque's shared state, taken by the deques'

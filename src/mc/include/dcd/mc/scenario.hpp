@@ -20,7 +20,10 @@
 
 namespace dcd::mc {
 
-enum class DequeKind : std::uint8_t { kArray, kList };
+// kListElim is the list deque with the per-end elimination layer compiled
+// in (one slot, one poll — the smallest configuration that still exercises
+// every protocol transition; see DESIGN.md §13).
+enum class DequeKind : std::uint8_t { kArray, kList, kListElim };
 
 const char* deque_kind_name(DequeKind k) noexcept;
 bool deque_kind_from_name(const char* name, DequeKind& out) noexcept;

@@ -43,6 +43,17 @@ namespace {
 using McPolicy = dcas::SchedDcasT<MutantDcasT<dcas::GlobalLockDcas>>;
 using McArray = deque::ArrayDeque<std::uint64_t, McPolicy>;
 using McList = deque::ListDeque<std::uint64_t, McPolicy, reclaim::EbrReclaim>;
+// Elimination variant: one slot and one poll keep the extra interleaving
+// depth minimal while every protocol transition (offer/take/cancel/clear)
+// stays reachable. The magazine pool's internal atomics are raw
+// std::atomic, not policy Words, so the allocator adds no scheduling
+// points in either list variant.
+using McListElim =
+    deque::ListDeque<std::uint64_t, McPolicy, reclaim::EbrReclaim,
+                     reclaim::MagazinePool,
+                     deque::ListOptions{.elimination = true,
+                                        .elim_slots = 1,
+                                        .elim_polls = 1}>;
 
 static_assert(dcas::DcasPolicy<McPolicy>);
 
@@ -69,22 +80,26 @@ struct DequeTraits<McArray> {
   }
 };
 
-template <>
-struct DequeTraits<McList> {
-  static std::unique_ptr<McList> make(const Scenario& sc) {
-    return std::make_unique<McList>(sc.capacity);
+// Shared by the plain and elimination list variants: the elimination layer
+// is invisible to the list representation (slots are quiescent — back to
+// kNull — whenever audit or fingerprint taps run between steps of a
+// completed protocol, and an in-flight offer lives outside the rep view).
+template <typename D>
+struct ListDequeTraits {
+  static std::unique_ptr<D> make(const Scenario& sc) {
+    return std::make_unique<D>(sc.capacity);
   }
   static std::size_t checker_capacity(const Scenario&) {
     return verify::SpecDeque::kUnbounded;
   }
-  static verify::AuditResult audit(const McList& d) {
+  static verify::AuditResult audit(const D& d) {
     return verify::RepAuditor::audit_list(d.rep_view_unsynchronized());
   }
-  static bool two_deleted(const McList& d) {
+  static bool two_deleted(const D& d) {
     return d.left_deleted_bit_unsynchronized() &&
            d.right_deleted_bit_unsynchronized();
   }
-  static std::string state_fingerprint(const McList& d) {
+  static std::string state_fingerprint(const D& d) {
     const deque::ListRepView v = d.rep_view_unsynchronized();
     std::string s = v.left_deleted ? "D[" : "[";
     for (const std::uint64_t w : v.values) s += std::to_string(w) + ",";
@@ -92,6 +107,12 @@ struct DequeTraits<McList> {
     return s;
   }
 };
+
+template <>
+struct DequeTraits<McList> : ListDequeTraits<McList> {};
+
+template <>
+struct DequeTraits<McListElim> : ListDequeTraits<McListElim> {};
 
 std::string op_summary(const verify::Operation& op) {
   std::string s = verify::op_name(op.type);
@@ -195,6 +216,7 @@ struct TraceStep {
   bool wrote = false;
   dcas::DcasShape shape = dcas::DcasShape::kGeneric;
   bool is_dcas = false;
+  bool is_cas = false;  // single-word CAS — elimination-slot transitions
 };
 
 TraceStep trace_step_of(const StepRecord& rec) {
@@ -208,8 +230,17 @@ TraceStep trace_step_of(const StepRecord& rec) {
     ts.shape = rec.shape;
     ts.is_dcas = rec.kind == dcas::AccessKind::kDcas ||
                  rec.kind == dcas::AccessKind::kDcasView;
+    ts.is_cas = rec.kind == dcas::AccessKind::kCas;
   }
   return ts;
+}
+
+// Successful DCAS *and* single-word CAS steps both count toward the shape
+// stats: the elimination protocol's transitions are classified CASes
+// (elim.offer/take/cancel/clear), and the acceptance tests assert the
+// explorer actually drove them.
+bool counts_toward_shapes(const TraceStep& ts) {
+  return (ts.is_dcas || ts.is_cas) && ts.wrote;
 }
 
 bool overlaps(const Footprint& f, const TraceStep& s) {
@@ -407,7 +438,7 @@ ScheduleRunReport run_forced(Runtime& rt, Harness<D>& harness,
     const StepRecord rec = rt.step(choice);
     rep.schedule_executed.push_back(choice);
     const TraceStep ts = trace_step_of(rec);
-    if (ts.is_dcas && ts.wrote) {
+    if (counts_toward_shapes(ts)) {
       rep.shape_steps[static_cast<std::size_t>(ts.shape)] += 1;
     }
     if (opt.audit_rep) {
@@ -590,7 +621,7 @@ ExploreResult explore_impl(const Scenario& sc, const ExplorerOptions& opt) {
       ++res.stats.transitions;
       const TraceStep ts = trace_step_of(rec);
       trace.push_back(ts);
-      if (ts.is_dcas && ts.wrote) {
+      if (counts_toward_shapes(ts)) {
         res.stats.shape_steps[static_cast<std::size_t>(ts.shape)] += 1;
         exec_shapes[static_cast<std::size_t>(ts.shape)] = true;
       }
@@ -705,6 +736,8 @@ ExploreResult explore(const Scenario& scenario,
       return explore_impl<McArray>(scenario, options);
     case DequeKind::kList:
       return explore_impl<McList>(scenario, options);
+    case DequeKind::kListElim:
+      return explore_impl<McListElim>(scenario, options);
   }
   return {};
 }
@@ -723,6 +756,11 @@ ScheduleRunReport run_schedule(const Scenario& scenario,
     }
     case DequeKind::kList: {
       Harness<McList> harness(scenario);
+      Runtime rt(threads);
+      return run_forced(rt, harness, forced, options);
+    }
+    case DequeKind::kListElim: {
+      Harness<McListElim> harness(scenario);
       Runtime rt(threads);
       return run_forced(rt, harness, forced, options);
     }

@@ -341,6 +341,19 @@ using ChaosPolicy = dcas::ChaosDcas<MutantDcasT<dcas::GlobalLockDcas>>;
 using ChaosArray = deque::ArrayDeque<std::uint64_t, ChaosPolicy>;
 using ChaosList = deque::ListDeque<std::uint64_t, ChaosPolicy,
                                    reclaim::EbrReclaim>;
+// Mirrors the explorer's McListElim configuration so a list-elim
+// counterexample replays against the same protocol the checker explored —
+// with the elimination CASes visible to chaos park rules (elim.offer &c).
+using ChaosListElim =
+    deque::ListDeque<std::uint64_t, ChaosPolicy, reclaim::EbrReclaim,
+                     reclaim::MagazinePool,
+                     deque::ListOptions{.elimination = true,
+                                        .elim_slots = 1,
+                                        .elim_polls = 1}>;
+
+template <typename D>
+inline constexpr bool kIsListKind =
+    std::is_same_v<D, ChaosList> || std::is_same_v<D, ChaosListElim>;
 
 template <typename D>
 ReplayOutcome run_chaos_impl(const ReplayFile& file, std::size_t capacity,
@@ -385,7 +398,7 @@ ReplayOutcome run_chaos_impl(const ReplayFile& file, std::size_t capacity,
   }
   // Two-deleted probe while the poppers are held in the staged window.
   std::uint64_t two_deleted = 0;
-  if constexpr (std::is_same_v<D, ChaosList>) {
+  if constexpr (kIsListKind<D>) {
     if (deque.left_deleted_bit_unsynchronized() &&
         deque.right_deleted_bit_unsynchronized()) {
       two_deleted = 1;
@@ -401,7 +414,7 @@ ReplayOutcome run_chaos_impl(const ReplayFile& file, std::size_t capacity,
   ViolationKind kind = ViolationKind::kNone;
   std::string detail;
   verify::AuditResult audit;
-  if constexpr (std::is_same_v<D, ChaosList>) {
+  if constexpr (kIsListKind<D>) {
     audit = verify::RepAuditor::audit_list(deque.rep_view_unsynchronized());
   } else {
     audit = verify::RepAuditor::audit_array(deque.rep_view_unsynchronized());
@@ -446,6 +459,10 @@ ReplayOutcome run_replay_chaos(const ReplayFile& file,
       return run_chaos_impl<ChaosList>(file, file.scenario.capacity,
                                        verify::SpecDeque::kUnbounded,
                                        park_timeout_ms);
+    case DequeKind::kListElim:
+      return run_chaos_impl<ChaosListElim>(file, file.scenario.capacity,
+                                           verify::SpecDeque::kUnbounded,
+                                           park_timeout_ms);
   }
   return {};
 }

@@ -10,12 +10,14 @@ const char* deque_kind_name(DequeKind k) noexcept {
   switch (k) {
     case DequeKind::kArray: return "array";
     case DequeKind::kList: return "list";
+    case DequeKind::kListElim: return "list-elim";
   }
   return "?";
 }
 
 bool deque_kind_from_name(const char* name, DequeKind& out) noexcept {
-  for (const DequeKind k : {DequeKind::kArray, DequeKind::kList}) {
+  for (const DequeKind k :
+       {DequeKind::kArray, DequeKind::kList, DequeKind::kListElim}) {
     if (std::strcmp(name, deque_kind_name(k)) == 0) {
       out = k;
       return true;
@@ -150,6 +152,25 @@ std::vector<Scenario> builtin_scenarios() {
   }
 
   all.push_back(figure16_scenario());
+
+  // Elimination layer (DESIGN.md §13): same-end traffic engineered so a
+  // failed pop can meet a pending offer. Two right-pushers contend — in
+  // some interleavings one push's DCAS loses and posts an elimination
+  // offer; the popper, whose own DCAS the winning push invalidated, then
+  // scans the slot and takes the offer (elim.take — the linearization
+  // point of both the push and the pop). Other interleavings exercise
+  // elim.cancel (offer unclaimed) and elim.clear (pusher acknowledging the
+  // take). The explorer's shape stats assert all of these were reached,
+  // and the linearizability checker validates every outcome including the
+  // eliminated pair that never touched the list representation.
+  {
+    Scenario s;
+    s.name = "list-elim-same-end";
+    s.deque = DequeKind::kListElim;
+    s.setup = {push_r(10)};
+    s.threads = {{push_r(1)}, {push_r(2)}, {pop_r()}};
+    all.push_back(s);
+  }
 
   // Suspended-popper shape: both threads pop the single element; one pop's
   // logical delete can sit unresolved (parked popper, §5.2) while the

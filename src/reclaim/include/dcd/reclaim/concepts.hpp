@@ -32,6 +32,28 @@ concept ReclaimPolicy = requires(R r, void* node, NodePool& pool) {
   { r.collect() };
 };
 
+// The allocator surface the deques consume (NodePool and MagazinePool both
+// model it): pop/push with observable exhaustion, an EbrDomain-compatible
+// deleter for retire(), and the introspection the tests and benches read.
+// A pool that drops the static deleter would silently break every
+// ReclaimPolicy::retire instantiation; this fails it at the deque instead.
+template <typename P>
+concept PoolPolicy =
+    requires(P p, const P cp, void* node, std::size_t n) {
+      requires !std::is_copy_constructible_v<P>;  // owns slab storage
+      { p.allocate() } noexcept -> std::same_as<void*>;
+      { p.deallocate(node) } noexcept;
+      { P::deallocate_cb(node, static_cast<void*>(&p)) };
+      { cp.owns(node) } noexcept -> std::convertible_to<bool>;
+      { cp.capacity() } noexcept -> std::convertible_to<std::size_t>;
+      { cp.node_size() } noexcept -> std::convertible_to<std::size_t>;
+      { cp.live() } noexcept -> std::convertible_to<std::uint64_t>;
+      { cp.allocation_failures() } noexcept
+          -> std::convertible_to<std::uint64_t>;
+    };
+
+static_assert(PoolPolicy<NodePool>);
+
 // Objects reclaimed purely by lock-free reference counting. The count word
 // must be the object's first member so a stale LFRC load that probes
 // recycled storage lands on a Word, never on arbitrary payload bytes.

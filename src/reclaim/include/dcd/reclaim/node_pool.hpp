@@ -58,11 +58,11 @@ class NodePool {
       FreeNode* next = head->next.load(std::memory_order_relaxed);
       if (head_->compare_exchange_weak(head, next, std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
-        live_.fetch_add(1, std::memory_order_relaxed);
+        live_->fetch_add(1, std::memory_order_relaxed);
         return head;
       }
     }
-    failures_.fetch_add(1, std::memory_order_relaxed);
+    failures_->fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
 
@@ -77,12 +77,99 @@ class NodePool {
     } while (!head_->compare_exchange_weak(head, fn,
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed));
-    live_.fetch_sub(1, std::memory_order_relaxed);
+    live_->fetch_sub(1, std::memory_order_relaxed);
   }
 
   // EbrDomain-compatible deleter: ctx is the pool.
   static void deallocate_cb(void* p, void* ctx) {
     static_cast<NodePool*>(ctx)->deallocate(p);
+  }
+
+  // --- chain (batch) operations for MagazinePool ---------------------------
+  //
+  // Both sides of a batch transfer are a *single* CAS on head_, so a
+  // magazine refill/flush costs the shared line one RMW regardless of K.
+  //
+  // ABA safety of the multi-node detach follows from the same usage
+  // contract as allocate(): the caller holds an EBR guard, so no node can
+  // leave and re-enter the free list while we hold `head` — if the final
+  // CAS succeeds, head never moved, and nodes below an unmoved head are
+  // frozen (popping them would require popping head first). The walk may
+  // still read a *recycled* node's next word (same benign race as the
+  // FreeNode comment below); the only real hazard is following a garbage
+  // link out of the slab, so every link is validated with owns() and the
+  // walk restarts on the first invalid one (a corrupt chain implies head
+  // already moved, so the CAS would have failed anyway).
+
+  // Detaches up to `want` nodes as a linked chain; returns the chain head
+  // (links readable via chain_next) and writes the actual count to *got.
+  // nullptr / 0 when the free list is empty. Caller must hold an EBR guard.
+  void* allocate_chain(std::size_t want, std::size_t* got) noexcept {
+    DCD_ASSERT(want > 0);
+    FreeNode* head = head_->load(std::memory_order_acquire);
+    while (head != nullptr) {
+      // Walk want-1 links past head to find the first node NOT taken.
+      FreeNode* tail = head;
+      std::size_t n = 1;
+      bool valid = true;
+      while (n < want) {
+        FreeNode* next = tail->next.load(std::memory_order_relaxed);
+        if (next == nullptr) break;
+        if (!owns(next)) {  // stale read off a recycled node: restart
+          valid = false;
+          break;
+        }
+        tail = next;
+        ++n;
+      }
+      if (!valid) {
+        head = head_->load(std::memory_order_acquire);
+        continue;
+      }
+      FreeNode* rest = tail->next.load(std::memory_order_relaxed);
+      if (rest != nullptr && !owns(rest)) {
+        head = head_->load(std::memory_order_acquire);
+        continue;
+      }
+      if (head_->compare_exchange_weak(head, rest, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        // Terminate the detached chain so callers can walk it safely.
+        tail->next.store(nullptr, std::memory_order_relaxed);
+        live_->fetch_add(n, std::memory_order_relaxed);
+        *got = n;
+        return head;
+      }
+    }
+    failures_->fetch_add(1, std::memory_order_relaxed);
+    *got = 0;
+    return nullptr;
+  }
+
+  // Pushes a pre-linked chain [first .. last] of `count` nodes back with
+  // one CAS. Same ownership contract as deallocate(): the caller must own
+  // every node in the chain exclusively (magazine flushes qualify — their
+  // nodes arrived via deallocate paths, i.e. post-grace or never shared).
+  void deallocate_chain(void* first, void* last, std::size_t count) noexcept {
+    DCD_DEBUG_ASSERT(owns(first) && owns(last));
+    auto* f = static_cast<FreeNode*>(first);
+    auto* l = static_cast<FreeNode*>(last);
+    FreeNode* head = head_->load(std::memory_order_relaxed);
+    do {
+      l->next.store(head, std::memory_order_relaxed);
+    } while (!head_->compare_exchange_weak(head, f, std::memory_order_acq_rel,
+                                           std::memory_order_relaxed));
+    live_->fetch_sub(count, std::memory_order_relaxed);
+  }
+
+  // Chain-link accessors so MagazinePool can thread private (unshared)
+  // chains through node storage without knowing FreeNode's layout. Only
+  // valid on nodes the caller owns exclusively.
+  static void* chain_next(void* p) noexcept {
+    return static_cast<FreeNode*>(p)->next.load(std::memory_order_relaxed);
+  }
+  static void chain_set_next(void* p, void* next) noexcept {
+    static_cast<FreeNode*>(p)->next.store(static_cast<FreeNode*>(next),
+                                          std::memory_order_relaxed);
   }
 
   bool owns(const void* p) const noexcept {
@@ -94,10 +181,10 @@ class NodePool {
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t node_size() const noexcept { return node_size_; }
   std::uint64_t live() const noexcept {
-    return live_.load(std::memory_order_relaxed);
+    return live_->load(std::memory_order_relaxed);
   }
   std::uint64_t allocation_failures() const noexcept {
-    return failures_.load(std::memory_order_relaxed);
+    return failures_->load(std::memory_order_relaxed);
   }
 
  private:
@@ -116,9 +203,12 @@ class NodePool {
   std::size_t node_size_;
   std::size_t capacity_;
   std::byte* slab_ = nullptr;
+  // head_ is the hot RMW word; live_/failures_ are bumped on every
+  // alloc/dealloc by whichever thread ran it. Each gets its own line so
+  // counter traffic never invalidates the line the CAS loop spins on.
   util::CacheAligned<std::atomic<FreeNode*>> head_;
-  std::atomic<std::uint64_t> live_{0};
-  std::atomic<std::uint64_t> failures_{0};
+  util::CacheAligned<std::atomic<std::uint64_t>> live_;
+  util::CacheAligned<std::atomic<std::uint64_t>> failures_;
 };
 
 }  // namespace dcd::reclaim

@@ -8,6 +8,7 @@
 
 #include "dcd/reclaim/concepts.hpp"
 #include "dcd/reclaim/ebr.hpp"
+#include "dcd/reclaim/magazine_pool.hpp"
 #include "dcd/reclaim/node_pool.hpp"
 
 namespace dcd::reclaim {
@@ -28,8 +29,12 @@ class EbrReclaim {
     EbrDomain::Guard g_;
   };
 
-  void retire(void* node, NodePool& pool) {
-    domain_.retire(node, NodePool::deallocate_cb, &pool);
+  // Templated over the pool so the same policy serves NodePool and
+  // MagazinePool: the node returns through Pool::deallocate_cb once its
+  // grace period has elapsed.
+  template <PoolPolicy Pool>
+  void retire(void* node, Pool& pool) {
+    domain_.retire(node, Pool::deallocate_cb, &pool);
   }
 
   // Prompt best-effort reclamation (tests).
@@ -57,7 +62,8 @@ class LeakyReclaim {
     explicit Guard(LeakyReclaim&) {}
   };
 
-  void retire(void* node, NodePool& pool) {
+  template <PoolPolicy Pool>
+  void retire(void* node, Pool& pool) {
     (void)node;
     (void)pool;
   }
@@ -69,5 +75,6 @@ class LeakyReclaim {
 // static_asserts in dcd/dcas/policies.hpp).
 static_assert(ReclaimPolicy<EbrReclaim>);
 static_assert(ReclaimPolicy<LeakyReclaim>);
+static_assert(PoolPolicy<MagazinePool>);
 
 }  // namespace dcd::reclaim

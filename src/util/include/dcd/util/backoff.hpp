@@ -76,4 +76,75 @@ class Backoff {
   std::uint64_t pauses_ = 0;
 };
 
+// Persistent per-thread adaptive backoff.
+//
+// A fresh `Backoff` local restarts its spin budget at 1 on every operation,
+// so under sustained contention every call re-learns the contention level
+// from scratch — and the early short spins are exactly the retries that
+// fail and steal the cache line from the thread about to succeed. This
+// variant keeps the budget in a thread_local: each failed attempt spins the
+// current budget and doubles it (saturating at the spin limit, where it
+// escalates to yield like Backoff), and each *completed* operation halves
+// it, so the budget tracks the recent failure/success ratio across
+// operations instead of being thrown away.
+class AdaptiveBackoff {
+ public:
+  static constexpr std::uint32_t kDefaultSpinLimit = 1024;
+
+  // The calling thread's persistent state.
+  static AdaptiveBackoff& tl() noexcept {
+    thread_local AdaptiveBackoff state;
+    return state;
+  }
+
+  // Call once per failed attempt: spins the current budget, then grows it.
+  void on_failure() noexcept {
+    ++pauses_;
+    if (current_ <= spin_limit_) {
+      for (std::uint32_t i = 0; i < current_; ++i) {
+        cpu_relax();
+      }
+      current_ = Backoff::next_budget(current_);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  // Call once per completed operation: decays the budget toward 1 so a
+  // burst of contention does not tax the quiet period after it.
+  void on_success() noexcept {
+    if (current_ > spin_limit_) current_ = spin_limit_;
+    current_ = current_ > 1 ? current_ / 2 : 1;
+  }
+
+  std::uint32_t spin_budget() const noexcept { return current_; }
+  std::uint64_t pauses() const noexcept { return pauses_; }
+  void reset() noexcept {
+    current_ = 1;
+    pauses_ = 0;
+  }
+
+  // Drop-in replacement for a `util::Backoff backoff;` local in a retry
+  // loop: pause() feeds failures into the thread's persistent state, and
+  // leaving the operation (the destructor) records the success decay.
+  class Session {
+   public:
+    Session() noexcept : state_(tl()) {}
+    ~Session() { state_.on_success(); }
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    void pause() noexcept { state_.on_failure(); }
+
+   private:
+    AdaptiveBackoff& state_;
+  };
+
+ private:
+  std::uint32_t spin_limit_ = kDefaultSpinLimit;
+  std::uint32_t current_ = 1;
+  std::uint64_t pauses_ = 0;
+};
+
 }  // namespace dcd::util

@@ -9,6 +9,7 @@
 #include "dcd/dcas/global_lock.hpp"
 #include "dcd/dcas/mcas.hpp"
 #include "dcd/dcas/word.hpp"
+#include "dcd/reclaim/magazine_pool.hpp"
 
 namespace {
 
@@ -67,6 +68,24 @@ TEST(ClassifyDcas, TwoNullSpliceHasBothDeleted) {
 TEST(ClassifyDcas, PushesAreGeneric) {
   EXPECT_EQ(classify_dcas(val(1), kNull, val(1), val(9)),
             DcasShape::kGeneric);
+}
+
+// --- single-word CAS classification (elimination slots) ---------------------
+
+TEST(ClassifyCas, OfferTakeCancelClearRoundTheProtocol) {
+  const std::uint64_t offer = encode_elim_offer(val(9));
+  EXPECT_EQ(classify_cas(kNull, offer), DcasShape::kElimOffer);
+  EXPECT_EQ(classify_cas(offer, kElimTaken), DcasShape::kElimTake);
+  EXPECT_EQ(classify_cas(offer, kNull), DcasShape::kElimCancel);
+  EXPECT_EQ(classify_cas(kElimTaken, kNull), DcasShape::kElimClear);
+}
+
+TEST(ClassifyCas, NonProtocolTransitionsAreGeneric) {
+  EXPECT_EQ(classify_cas(val(1), val(2)), DcasShape::kGeneric);
+  EXPECT_EQ(classify_cas(kNull, val(2)), DcasShape::kGeneric);
+  EXPECT_EQ(classify_cas(encode_elim_offer(val(1)), val(2)),
+            DcasShape::kGeneric);
+  EXPECT_EQ(classify_cas(kNull, kNull), DcasShape::kGeneric);
 }
 
 // --- schedule determinism --------------------------------------------------
@@ -210,6 +229,66 @@ TEST(ChaosPark, ParkAtNthHitThenRelease) {
   EXPECT_EQ(GlobalLockDcas::load(a), val(3));
   EXPECT_FALSE(chaos.parked(rule));
   EXPECT_EQ(chaos.successes(DcasShape::kGeneric), 1u);
+}
+
+TEST(ChaosPark, ElimOfferParksBeforeTheAttempt) {
+  using P = ChaosDcas<GlobalLockDcas>;
+  ChaosController chaos(quiet_schedule());
+  const std::size_t rule = chaos.arm_park(sync_point::kElimOffer, 1);
+  Word slot;
+  P::store_init(slot, kNull);
+  const std::uint64_t offer = encode_elim_offer(val(6));
+  std::thread pusher([&] { EXPECT_TRUE(P::cas(slot, kNull, offer)); });
+  ASSERT_TRUE(chaos.wait_parked(rule, 5000));
+  // Parked *before* the CAS: the slot is still empty — the window where a
+  // popper's scan must simply see kNull and move on.
+  EXPECT_EQ(GlobalLockDcas::load(slot), kNull);
+  chaos.release(rule);
+  pusher.join();
+  EXPECT_EQ(GlobalLockDcas::load(slot), offer);
+  EXPECT_EQ(chaos.successes(DcasShape::kElimOffer), 1u);
+}
+
+TEST(ChaosPark, ElimTakeParksAfterSuccessAtTheLinearizationPoint) {
+  using P = ChaosDcas<GlobalLockDcas>;
+  ChaosController chaos(quiet_schedule());
+  const std::size_t rule = chaos.arm_park(sync_point::kElimTake, 1);
+  Word slot;
+  const std::uint64_t offer = encode_elim_offer(val(6));
+  P::store_init(slot, offer);
+  std::thread popper([&] { EXPECT_TRUE(P::cas(slot, offer, kElimTaken)); });
+  ASSERT_TRUE(chaos.wait_parked(rule, 5000));
+  // The take parks *after* its write: the transfer has already linearized
+  // (a suspended popper here models the paper's parked-thread concern —
+  // the pusher can still observe kElimTaken and clear).
+  EXPECT_EQ(GlobalLockDcas::load(slot), kElimTaken);
+  chaos.release(rule);
+  popper.join();
+  EXPECT_EQ(chaos.successes(DcasShape::kElimTake), 1u);
+}
+
+TEST(ChaosPark, MagazineRefillParksThroughTheInstalledHook) {
+  // The reclaim layer cannot call the chaos registry directly (layering:
+  // dcd_dcas links dcd_reclaim); the controller installs a trampoline into
+  // reclaim::magazine_hook(). A park armed on magazine.refill must
+  // therefore trap a thread inside MagazinePool::allocate's refill window
+  // — while it holds its own magazine's try-lock, which other threads
+  // bypass by falling through to the shared pool.
+  ChaosController chaos(quiet_schedule());
+  const std::size_t rule = chaos.arm_park(sync_point::kMagazineRefill, 1);
+  dcd::reclaim::MagazinePool pool(16, 8, /*batch=*/4);
+  void* got = nullptr;
+  std::thread worker([&] { got = pool.allocate(); });
+  ASSERT_TRUE(chaos.wait_parked(rule, 5000));
+  // The parked thread blocks its own magazine only; the shared list still
+  // serves this thread directly.
+  void* p = pool.allocate();
+  EXPECT_NE(p, nullptr);
+  chaos.release(rule);
+  worker.join();
+  EXPECT_NE(got, nullptr);
+  EXPECT_NE(got, p);
+  EXPECT_GE(pool.stats().refills, 1u);
 }
 
 TEST(ChaosPark, SpentRuleDoesNotTrapLaterHits) {

@@ -84,6 +84,69 @@ TEST(Backoff, BudgetDoublingSaturatesInsteadOfWrapping) {
   EXPECT_EQ(Backoff::next_budget((1u << 31) + 5), kMax);
 }
 
+TEST(AdaptiveBackoff, BudgetGrowsOnFailureAndDecaysOnSuccess) {
+  AdaptiveBackoff b;
+  b.reset();
+  EXPECT_EQ(b.spin_budget(), 1u);
+  for (int i = 0; i < 4; ++i) b.on_failure();  // 1 -> 2 -> 4 -> 8 -> 16
+  EXPECT_EQ(b.spin_budget(), 16u);
+  EXPECT_EQ(b.pauses(), 4u);
+  b.on_success();
+  EXPECT_EQ(b.spin_budget(), 8u);
+  // Decay floors at 1, never 0 (a zero budget would make the next
+  // failure's spin a no-op and defeat the adaptation).
+  for (int i = 0; i < 10; ++i) b.on_success();
+  EXPECT_EQ(b.spin_budget(), 1u);
+}
+
+TEST(AdaptiveBackoff, YieldRegimeClampsBeforeDecaying) {
+  AdaptiveBackoff b;
+  b.reset();
+  // Drive far past the spin limit into the yield regime...
+  for (int i = 0; i < 40; ++i) b.on_failure();
+  EXPECT_GT(b.spin_budget(), AdaptiveBackoff::kDefaultSpinLimit);
+  // ...one success must clamp back under the limit before halving, so the
+  // next contended phase spins instead of yielding forever.
+  b.on_success();
+  EXPECT_LE(b.spin_budget(), AdaptiveBackoff::kDefaultSpinLimit / 2);
+}
+
+TEST(AdaptiveBackoff, SessionsShareTheThreadsPersistentState) {
+  // The point of the refactor: unlike a fresh `Backoff` local per call,
+  // contention observed by one operation primes the next operation's
+  // budget on the same thread.
+  AdaptiveBackoff::tl().reset();
+  {
+    AdaptiveBackoff::Session s;
+    s.pause();
+    s.pause();
+    s.pause();
+  }  // dtor = one success decay: 8 -> 4
+  EXPECT_EQ(AdaptiveBackoff::tl().spin_budget(), 4u);
+  EXPECT_EQ(AdaptiveBackoff::tl().pauses(), 3u);
+  {
+    AdaptiveBackoff::Session s;  // new op, same thread: budget carried over
+    s.pause();                   // spins 4, grows to 8
+  }
+  EXPECT_EQ(AdaptiveBackoff::tl().spin_budget(), 4u);  // 8 decayed by dtor
+  EXPECT_EQ(AdaptiveBackoff::tl().pauses(), 4u);
+  AdaptiveBackoff::tl().reset();
+}
+
+TEST(AdaptiveBackoff, ThreadsHaveIndependentState) {
+  AdaptiveBackoff::tl().reset();
+  {
+    AdaptiveBackoff::Session s;
+    for (int i = 0; i < 8; ++i) s.pause();
+  }
+  std::uint64_t other_pauses = ~0ull;
+  std::thread t([&] { other_pauses = AdaptiveBackoff::tl().pauses(); });
+  t.join();
+  EXPECT_EQ(other_pauses, 0u);
+  EXPECT_EQ(AdaptiveBackoff::tl().pauses(), 8u);
+  AdaptiveBackoff::tl().reset();
+}
+
 TEST(Rng, SplitMix64IsDeterministic) {
   SplitMix64 a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());

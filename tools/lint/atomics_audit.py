@@ -630,6 +630,36 @@ def self_test() -> int:
     if got != ["unknown-sync-point", "unknown-sync-point"]:
         failures.append(f"replay directive scan wrong: {got}")
 
+    # The PR-4 hot-path points (single-word elimination CASes + the magazine
+    # allocator's shared-list windows) go through the same roster: the parse
+    # regex must pick them up from registry-style text, and a typo in either
+    # family must be flagged while the real names pass.
+    roster = parse_sync_point_roster(
+        'inline constexpr const char* kElimOffer = "elim.offer";\n'
+        'inline constexpr const char* kElimTake = "elim.take";\n'
+        'inline constexpr const char* kMagazineRefill = "magazine.refill";\n'
+        'inline constexpr const char* kMagazineFlush = "magazine.flush";\n')
+    if roster != {"elim.offer", "elim.take",
+                  "magazine.refill", "magazine.flush"}:
+        failures.append(f"hot-path roster parse wrong: {roster}")
+    got = [f.rule for f in audit_sync_points_cpp(
+        "tests/chaos_dcas_test.cpp",
+        'c.arm_park("elim.take", 1);\n'
+        'c.arm_park("magazine.refill", 2);\n'
+        'c.arm_park("elim.takes", 1);\n'       # typo: must be flagged
+        'c.arm_park("magazine.fill", 1);\n',   # typo: must be flagged
+        roster)]
+    if got != ["unknown-sync-point", "unknown-sync-point"]:
+        failures.append(f"hot-path arm_park scan wrong: {got}")
+    got = [f.rule for f in audit_sync_points_replay(
+        "tests/replays/elim.repro",
+        "expect-shape: elim.take >= 1\n"
+        "expect-shape: elim.clear >= 1\n"      # not in this roster: flagged
+        "chaos-park: magazine.flush 1\n",
+        roster)]
+    if got != ["unknown-sync-point"]:
+        failures.append(f"hot-path replay directive scan wrong: {got}")
+
     if failures:
         for f in failures:
             print(f"self-test FAIL: {f}", file=sys.stderr)
