@@ -39,13 +39,25 @@ Output schema (documented in EXPERIMENTS.md, "Recorded benchmark JSON"):
 When the run used --repetitions, only mean/median/stddev aggregate rows are
 kept (the per-rep rows are noise we deliberately do not record); otherwise
 every row is kept. Counters are every user counter except items_per_second.
+
+Failure contract: any problem — binary missing or crashing, malformed or
+empty benchmark JSON, a row that reported error_occurred — exits nonzero
+with a one-line diagnostic and writes NO artifact (the output is written
+atomically via a temp file + rename, so a failed run can never leave a
+partial or empty BENCH_*.json behind for the trajectory to pick up).
+`--self-test` exercises these failure paths against seeded inputs.
 """
 import argparse
 import json
+import os
 import re
 import subprocess
 import sys
 import tempfile
+
+
+class BenchError(Exception):
+    """Raised for any condition that must abort without an artifact."""
 
 # Google-benchmark reports these outside "counters"; everything else in a
 # benchmark entry that is numeric goes into our "counters" map.
@@ -81,29 +93,54 @@ def run_binary(args: argparse.Namespace) -> dict:
                 # neighbours) does not bias one configuration.
                 "--benchmark_enable_random_interleaving=true",
             ]
-        subprocess.run(cmd, check=True, capture_output=True, text=True)
-        with open(tmp.name) as f:
-            return json.load(f)
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+        except OSError as e:
+            raise BenchError(f"cannot run {args.binary}: {e}") from e
+        if proc.returncode != 0:
+            tail = proc.stderr.strip().splitlines()[-3:]
+            raise BenchError(
+                f"{args.binary} exited {proc.returncode}"
+                + ("".join("\n  " + t for t in tail)))
+        try:
+            with open(tmp.name) as f:
+                return json.load(f)
+        except json.JSONDecodeError as e:
+            raise BenchError(
+                f"{args.binary} wrote malformed benchmark JSON: {e}") from e
 
 
 def distill(raw: dict, binary: str, label: str) -> dict:
+    if not isinstance(raw, dict):
+        raise BenchError(f"{binary}: benchmark output is not a JSON object")
     ctx = raw.get("context", {})
     rows = raw.get("benchmarks", [])
+    if not rows:
+        raise BenchError(f"{binary}: no benchmark rows in output (filter "
+                         "matched nothing, or the run was cut short)")
     has_aggregates = any(r.get("run_type") == "aggregate" for r in rows)
     kept = []
     for r in rows:
+        if r.get("error_occurred"):
+            raise BenchError(f"{binary}: benchmark "
+                             f"{r.get('name', '?')!r} reported an error: "
+                             f"{r.get('error_message', 'unknown')}")
         if has_aggregates and r.get("run_type") != "aggregate":
             continue
         if r.get("aggregate_name") == "cv":
             continue  # redundant with stddev/mean
         scale = UNIT_TO_NS.get(r.get("time_unit", "ns"), 1.0)
-        entry = {
-            "name": r.get("run_name", r["name"]),
-            "threads": r.get("threads", 1),
-            "real_time_ns": round(r["real_time"] * scale, 3),
-            "cpu_time_ns": round(r["cpu_time"] * scale, 3),
-            "iterations": r["iterations"],
-        }
+        try:
+            entry = {
+                "name": r.get("run_name", r["name"]),
+                "threads": r.get("threads", 1),
+                "real_time_ns": round(r["real_time"] * scale, 3),
+                "cpu_time_ns": round(r["cpu_time"] * scale, 3),
+                "iterations": r["iterations"],
+            }
+        except (KeyError, TypeError) as e:
+            raise BenchError(f"{binary}: malformed benchmark row "
+                             f"{r.get('name', '?')!r}: {e}") from e
         if r.get("aggregate_name"):
             entry["aggregate"] = r["aggregate_name"]
         if "items_per_second" in r:
@@ -116,6 +153,9 @@ def distill(raw: dict, binary: str, label: str) -> dict:
         if counters:
             entry["counters"] = counters
         kept.append(entry)
+    if not kept:
+        raise BenchError(f"{binary}: every row was filtered out during "
+                         "distillation — refusing to write an empty artifact")
     doc = {
         "schema": 1,
         "binary": binary,
@@ -133,30 +173,118 @@ def distill(raw: dict, binary: str, label: str) -> dict:
     return doc
 
 
+GOOD_RAW = {
+    "context": {"date": "2026-08-05T00:00:00", "num_cpus": 4,
+                "mhz_per_cpu": 2100, "library_build_type": "release",
+                "load_avg": [0.1]},
+    "benchmarks": [
+        {"name": "E1/x/threads:2", "run_name": "E1/x/threads:2",
+         "run_type": "iteration", "threads": 2, "iterations": 100,
+         "real_time": 1.5, "cpu_time": 2.9, "time_unit": "us",
+         "items_per_second": 12345.6, "magazine_hit/op": 0.5},
+    ],
+}
+
+
+def self_test() -> int:
+    failures = []
+
+    def expect_error(label, raw):
+        try:
+            distill(raw, "seed", "")
+            failures.append(f"{label}: accepted")
+        except BenchError:
+            pass
+
+    # Good path: distills one row, converts us -> ns, keeps the counter.
+    doc = distill(GOOD_RAW, "seed", "note")
+    row = doc["benchmarks"][0]
+    if (len(doc["benchmarks"]) != 1 or row["real_time_ns"] != 1500.0
+            or row["counters"].get("magazine_hit/op") != 0.5
+            or doc["label"] != "note"):
+        failures.append(f"good-path distillation wrong: {doc}")
+
+    expect_error("no rows", {"context": {}, "benchmarks": []})
+    expect_error("not an object", ["nope"])
+    expect_error("error row", {"benchmarks": [
+        {"name": "E1", "error_occurred": True, "error_message": "boom"}]})
+    expect_error("missing real_time", {"benchmarks": [
+        {"name": "E1", "iterations": 1, "cpu_time": 1.0}]})
+    expect_error("all rows filtered", {"benchmarks": [
+        {"name": "E1/cv", "run_type": "aggregate", "aggregate_name": "cv",
+         "real_time": 1.0, "cpu_time": 1.0, "iterations": 1}]})
+
+    # End-to-end failure paths through the CLI: a missing binary and a
+    # malformed --from-json file must exit 1 and write no artifact.
+    me = os.path.abspath(__file__)
+    with tempfile.TemporaryDirectory() as d:
+        out = os.path.join(d, "BENCH_x.json")
+        bad = os.path.join(d, "bad.json")
+        with open(bad, "w") as f:
+            f.write("{ not json")
+        for label, argv in [
+            ("missing binary", [os.path.join(d, "no_such_bench"), "-o", out]),
+            ("malformed --from-json", ["--from-json", bad, "-o", out]),
+        ]:
+            proc = subprocess.run([sys.executable, me, *argv],
+                                  capture_output=True, text=True)
+            if proc.returncode == 0:
+                failures.append(f"{label}: exited 0")
+            if os.path.exists(out):
+                failures.append(f"{label}: left an artifact behind")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print("self-test OK (bench_to_json failure paths)")
+    return 0
+
+
 def main() -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("binary", nargs="?", help="benchmark binary to run")
     p.add_argument("--from-json", help="distill an existing raw JSON file")
-    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-o", "--output")
     p.add_argument("--filter", help="--benchmark_filter regex")
     p.add_argument("--min-time", type=float, help="--benchmark_min_time")
     p.add_argument("--repetitions", type=int, default=0)
     p.add_argument("--label", default="", help="free-text note for the doc")
+    p.add_argument("--self-test", action="store_true",
+                   help="exercise the failure paths against seeded inputs")
     args = p.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.output is None:
+        p.error("-o/--output is required")
     if bool(args.binary) == bool(args.from_json):
         p.error("exactly one of BINARY or --from-json is required")
-    if args.from_json:
-        with open(args.from_json) as f:
-            raw = json.load(f)
-        name = raw.get("context", {}).get("executable", args.from_json)
-    else:
-        raw = run_binary(args)
-        name = args.binary
-    name = re.sub(r".*/", "", name)
-    doc = distill(raw, name, args.label)
-    with open(args.output, "w") as f:
+    try:
+        if args.from_json:
+            try:
+                with open(args.from_json) as f:
+                    raw = json.load(f)
+            except OSError as e:
+                raise BenchError(f"cannot read {args.from_json}: {e}") from e
+            except json.JSONDecodeError as e:
+                raise BenchError(
+                    f"{args.from_json} is not valid JSON: {e}") from e
+            name = raw.get("context", {}).get("executable", args.from_json) \
+                if isinstance(raw, dict) else args.from_json
+        else:
+            raw = run_binary(args)
+            name = args.binary
+        name = re.sub(r".*/", "", name)
+        doc = distill(raw, name, args.label)
+    except BenchError as e:
+        print(f"bench_to_json: error: {e}", file=sys.stderr)
+        return 1
+    # Atomic write: never leave a partial artifact if interrupted here.
+    tmp_path = args.output + ".tmp"
+    with open(tmp_path, "w") as f:
         json.dump(doc, f, indent=1)
         f.write("\n")
+    os.replace(tmp_path, args.output)
     print(f"{args.output}: {len(doc['benchmarks'])} rows from {name}")
     return 0
 

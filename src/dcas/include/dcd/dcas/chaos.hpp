@@ -270,11 +270,11 @@ class ChaosDcas {
 
   static bool cas(Word& w, std::uint64_t oldv, std::uint64_t newv) noexcept {
     const DcasShape s = classify_cas(oldv, newv);
-    if (s == DcasShape::kGeneric) return Inner::cas(w, oldv, newv);
+    if (s == DcasShape::kGeneric) return Inner::cas(w, oldv, newv);  // DCD_SYNC(policy-internal)
     ChaosController* c = ChaosController::acquire();
-    if (c == nullptr) return Inner::cas(w, oldv, newv);
+    if (c == nullptr) return Inner::cas(w, oldv, newv);  // DCD_SYNC(policy-internal)
     c->before_cas(s);
-    const bool ok = Inner::cas(w, oldv, newv);
+    const bool ok = Inner::cas(w, oldv, newv);  // DCD_SYNC(policy-internal)
     c->after_cas(s, ok);
     ChaosController::unpin();
     return ok;
@@ -283,14 +283,14 @@ class ChaosDcas {
   static bool dcas(Word& a, Word& b, std::uint64_t oa, std::uint64_t ob,
                    std::uint64_t na, std::uint64_t nb) noexcept {
     ChaosController* c = ChaosController::acquire();
-    if (c == nullptr) return Inner::dcas(a, b, oa, ob, na, nb);
+    if (c == nullptr) return Inner::dcas(a, b, oa, ob, na, nb);  // DCD_SYNC(policy-internal)
     const DcasShape s = classify_dcas(oa, ob, na, nb);
     c->before_dcas(s);
     if (c->maybe_force_fail(s)) {
       ChaosController::unpin();
       return false;
     }
-    const bool ok = Inner::dcas(a, b, oa, ob, na, nb);
+    const bool ok = Inner::dcas(a, b, oa, ob, na, nb);  // DCD_SYNC(policy-internal)
     c->after_dcas(s, ok);
     ChaosController::unpin();
     return ok;
@@ -300,10 +300,10 @@ class ChaosDcas {
                         std::uint64_t& ob, std::uint64_t na,
                         std::uint64_t nb) noexcept {
     ChaosController* c = ChaosController::acquire();
-    if (c == nullptr) return Inner::dcas_view(a, b, oa, ob, na, nb);
+    if (c == nullptr) return Inner::dcas_view(a, b, oa, ob, na, nb);  // DCD_SYNC(policy-internal)
     const DcasShape s = classify_dcas(oa, ob, na, nb);
     c->before_dcas(s);
-    const bool ok = Inner::dcas_view(a, b, oa, ob, na, nb);
+    const bool ok = Inner::dcas_view(a, b, oa, ob, na, nb);  // DCD_SYNC(policy-internal)
     c->after_dcas(s, ok);
     ChaosController::unpin();
     return ok;

@@ -111,7 +111,7 @@ class SchedDcasT {
 
   static bool cas(Word& w, std::uint64_t oldv, std::uint64_t newv) noexcept {
     SchedClient* c = sched_client();
-    if (c == nullptr) return Inner::cas(w, oldv, newv);
+    if (c == nullptr) return Inner::cas(w, oldv, newv);  // DCD_SYNC(policy-internal)
     SchedAccess acc;
     acc.kind = AccessKind::kCas;
     acc.a = &w;
@@ -119,7 +119,7 @@ class SchedDcasT {
     acc.oa = oldv;
     acc.na = newv;
     c->before_access(acc);
-    const bool ok = Inner::cas(w, oldv, newv);
+    const bool ok = Inner::cas(w, oldv, newv);  // DCD_SYNC(policy-internal)
     c->after_access(acc, ok);
     return ok;
   }
@@ -127,7 +127,7 @@ class SchedDcasT {
   static bool dcas(Word& a, Word& b, std::uint64_t oa, std::uint64_t ob,
                    std::uint64_t na, std::uint64_t nb) noexcept {
     SchedClient* c = sched_client();
-    if (c == nullptr) return Inner::dcas(a, b, oa, ob, na, nb);
+    if (c == nullptr) return Inner::dcas(a, b, oa, ob, na, nb);  // DCD_SYNC(policy-internal)
     SchedAccess acc;
     acc.kind = AccessKind::kDcas;
     acc.a = &a;
@@ -138,7 +138,7 @@ class SchedDcasT {
     acc.na = na;
     acc.nb = nb;
     c->before_access(acc);
-    const bool ok = Inner::dcas(a, b, oa, ob, na, nb);
+    const bool ok = Inner::dcas(a, b, oa, ob, na, nb);  // DCD_SYNC(policy-internal)
     c->after_access(acc, ok);
     return ok;
   }
@@ -147,7 +147,7 @@ class SchedDcasT {
                         std::uint64_t& ob, std::uint64_t na,
                         std::uint64_t nb) noexcept {
     SchedClient* c = sched_client();
-    if (c == nullptr) return Inner::dcas_view(a, b, oa, ob, na, nb);
+    if (c == nullptr) return Inner::dcas_view(a, b, oa, ob, na, nb);  // DCD_SYNC(policy-internal)
     SchedAccess acc;
     acc.kind = AccessKind::kDcasView;
     acc.a = &a;
@@ -158,7 +158,7 @@ class SchedDcasT {
     acc.na = na;
     acc.nb = nb;
     c->before_access(acc);
-    const bool ok = Inner::dcas_view(a, b, oa, ob, na, nb);
+    const bool ok = Inner::dcas_view(a, b, oa, ob, na, nb);  // DCD_SYNC(policy-internal)
     c->after_access(acc, ok);
     return ok;
   }

@@ -174,9 +174,9 @@ ChaosController::ChaosController(const ChaosSchedule& schedule)
   reclaim::magazine_hook().store(&magazine_trampoline,
                                  std::memory_order_release);
   ChaosController* expected = nullptr;
-  const bool installed =
-      active_.compare_exchange_strong(expected, this,
-                                      std::memory_order_acq_rel);
+  // DCD_SYNC(policy-internal)
+  const bool installed = active_.compare_exchange_strong(
+      expected, this, std::memory_order_acq_rel);
   DCD_ASSERT(installed && "only one ChaosController may be active");
   (void)installed;
 }

@@ -121,6 +121,7 @@ void rdcss_complete(RdcssDesc* d) {
   const std::uint64_t cond = d->cond->load(std::memory_order_acquire);
   std::uint64_t expected = mark(d);
   const std::uint64_t replacement = (cond == kUndecided) ? d->newv : d->oldv;
+  // DCD_SYNC(policy-internal)
   d->data->raw.compare_exchange_strong(expected, replacement,
                                        std::memory_order_acq_rel,
                                        std::memory_order_relaxed);
@@ -131,9 +132,11 @@ void rdcss_complete(RdcssDesc* d) {
 // d->oldv on success, otherwise the conflicting content (a clean value or
 // an mcas-marked word; rdcss marks are resolved internally).
 std::uint64_t rdcss(RdcssDesc* d) {
+  // DCD_PROGRESS(CAS failure means another thread's install or help committed; conflicting rdcss marks are resolved before retrying)
   for (;;) {
     std::uint64_t expected = d->oldv;
     ++Telemetry::tl().cas_ops;
+    // DCD_SYNC(policy-internal)
     if (d->data->raw.compare_exchange_strong(expected, mark(d),
                                              std::memory_order_acq_rel,
                                              std::memory_order_acquire)) {
@@ -174,6 +177,7 @@ bool mcas_help(McasDesc* d) {
       }
     }
     std::uint64_t expected = kUndecided;
+    // DCD_SYNC(policy-internal)
     d->status.compare_exchange_strong(expected, desired,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire);
@@ -185,6 +189,7 @@ bool mcas_help(McasDesc* d) {
   const bool ok = d->status.load(std::memory_order_acquire) == kSucceeded;
   for (std::size_t i = 0; i < d->width; ++i) {
     std::uint64_t expected = mark(d);
+    // DCD_SYNC(policy-internal)
     d->addr[i]->raw.compare_exchange_strong(
         expected, ok ? d->newv[i] : d->oldv[i], std::memory_order_acq_rel,
         std::memory_order_relaxed);
@@ -220,11 +225,13 @@ bool McasDcas::cas(Word& w, std::uint64_t oldv,
                    std::uint64_t newv) noexcept {
   DCD_DEBUG_ASSERT(!is_marked(oldv) && !is_marked(newv));
   auto& c = Telemetry::tl();
+  // DCD_PROGRESS(every retry first helps the conflicting descriptor to completion via load(); a clean mismatch returns false)
   for (;;) {
     const std::uint64_t v = load(w);  // helps any descriptor away
     if (v != oldv) return false;
     std::uint64_t expected = oldv;
     ++c.cas_ops;
+    // DCD_SYNC(policy-internal)
     if (w.raw.compare_exchange_strong(expected, newv,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {

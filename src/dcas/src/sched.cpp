@@ -27,6 +27,7 @@ SchedClient* sched_client() noexcept {
 void install_sched_client(SchedClient* client) noexcept {
   DCD_ASSERT(client != nullptr);
   SchedClient* expected = nullptr;
+  // DCD_SYNC(policy-internal)
   const bool installed = g_client.compare_exchange_strong(
       expected, client, std::memory_order_acq_rel, std::memory_order_acquire);
   DCD_ASSERT(installed && "only one SchedClient may be installed");
@@ -35,6 +36,7 @@ void install_sched_client(SchedClient* client) noexcept {
 
 void uninstall_sched_client(SchedClient* client) noexcept {
   SchedClient* expected = client;
+  // DCD_SYNC(policy-internal)
   const bool removed = g_client.compare_exchange_strong(
       expected, nullptr, std::memory_order_acq_rel,
       std::memory_order_acquire);

@@ -85,6 +85,8 @@ class ArrayDeque {
       const std::uint64_t old_s = Dcas::load(s_[r]);           // line 5
       if (!dcas::is_null(old_s)) {                             // line 6
         if (!Opt.recheck_index || Dcas::load(*r_) == old_r) {  // line 7
+          // DCD_SYNC(empty.confirm)
+          // DCD_LP(Fig3:8-10, empty.confirm, inv=array.index_range+array.segment_full+array.ambiguous_boundary, "identity DCAS confirms s[R] non-null while R unchanged: deque observed full")
           if (Dcas::dcas(*r_, s_[r], old_r, old_s, old_r, old_s)) {
             return PushResult::kFull;                          // lines 8-10
           }
@@ -92,6 +94,8 @@ class ArrayDeque {
       } else {
         if constexpr (Opt.failure_view) {
           std::uint64_t cur_r = old_r, cur_s = old_s;          // line 13
+          // DCD_SYNC(dcas.any)
+          // DCD_LP(Fig3:13-16, dcas.any, inv=array.view_malformed+array.index_range, "R advances and s[R] gains v in one step; failure view decides full vs retry")
           if (Dcas::dcas_view(*r_, s_[r], cur_r, cur_s, new_r, vw)) {
             return PushResult::kOkay;                          // lines 14-16
           }
@@ -99,6 +103,8 @@ class ArrayDeque {
             return PushResult::kFull;
           }
         } else {
+          // DCD_SYNC(dcas.any)
+          // DCD_LP(Fig3:11-12, dcas.any, inv=array.index_range+array.segment_null, "R advances and the null cell s[R] gains v in one step")
           if (Dcas::dcas(*r_, s_[r], old_r, old_s, new_r, vw)) {
             return PushResult::kOkay;
           }
@@ -119,6 +125,8 @@ class ArrayDeque {
       const std::uint64_t old_s = Dcas::load(s_[l]);
       if (!dcas::is_null(old_s)) {
         if (!Opt.recheck_index || Dcas::load(*l_) == old_l) {
+          // DCD_SYNC(empty.confirm)
+          // DCD_LP(Fig31:8-10, empty.confirm, inv=array.index_range+array.segment_full+array.ambiguous_boundary, "identity DCAS confirms s[L] non-null while L unchanged: deque observed full")
           if (Dcas::dcas(*l_, s_[l], old_l, old_s, old_l, old_s)) {
             return PushResult::kFull;
           }
@@ -126,6 +134,8 @@ class ArrayDeque {
       } else {
         if constexpr (Opt.failure_view) {
           std::uint64_t cur_l = old_l, cur_s = old_s;
+          // DCD_SYNC(dcas.any)
+          // DCD_LP(Fig31:13-16, dcas.any, inv=array.view_malformed+array.index_range, "L retreats and s[L] gains v in one step; failure view decides full vs retry")
           if (Dcas::dcas_view(*l_, s_[l], cur_l, cur_s, new_l, vw)) {
             return PushResult::kOkay;
           }
@@ -133,6 +143,8 @@ class ArrayDeque {
             return PushResult::kFull;
           }
         } else {
+          // DCD_SYNC(dcas.any)
+          // DCD_LP(Fig31:11-12, dcas.any, inv=array.index_range+array.segment_null, "L retreats and the null cell s[L] gains v in one step")
           if (Dcas::dcas(*l_, s_[l], old_l, old_s, new_l, vw)) {
             return PushResult::kOkay;
           }
@@ -152,6 +164,8 @@ class ArrayDeque {
       const std::uint64_t old_s = Dcas::load(s_[new_r_i]);     // line 5
       if (dcas::is_null(old_s)) {                              // line 6
         if (!Opt.recheck_index || Dcas::load(*r_) == old_r) {  // line 7
+          // DCD_SYNC(empty.confirm)
+          // DCD_LP(Fig2:8-10, empty.confirm, inv=array.index_range+array.segment_null+array.ambiguous_boundary, "identity DCAS confirms s[R-1] null while R unchanged: deque observed empty")
           if (Dcas::dcas(*r_, s_[new_r_i], old_r, old_s, old_r, old_s)) {
             return std::nullopt;                               // lines 8-10
           }
@@ -159,6 +173,8 @@ class ArrayDeque {
       } else {
         if constexpr (Opt.failure_view) {
           std::uint64_t cur_r = old_r, cur_s = old_s;          // line 13
+          // DCD_SYNC(pop.commit)
+          // DCD_LP(Fig2:13-16, pop.commit, inv=array.view_malformed+array.index_range+array.segment_null, "R retreats and s[R-1] is nulled in one step; failure view detects a stolen last item")
           if (Dcas::dcas_view(*r_, s_[new_r_i], cur_r, cur_s, new_r,
                               dcas::kNull)) {
             return Codec::decode(cur_s);                       // lines 14-16
@@ -167,6 +183,8 @@ class ArrayDeque {
             return std::nullopt;  // a competing popLeft stole the last item
           }
         } else {
+          // DCD_SYNC(pop.commit)
+          // DCD_LP(Fig2:11-12, pop.commit, inv=array.index_range+array.segment_null, "R retreats and s[R-1] is nulled in one step, claiming the value")
           if (Dcas::dcas(*r_, s_[new_r_i], old_r, old_s, new_r,
                          dcas::kNull)) {
             return Codec::decode(old_s);
@@ -187,6 +205,8 @@ class ArrayDeque {
       const std::uint64_t old_s = Dcas::load(s_[new_l_i]);
       if (dcas::is_null(old_s)) {
         if (!Opt.recheck_index || Dcas::load(*l_) == old_l) {
+          // DCD_SYNC(empty.confirm)
+          // DCD_LP(Fig30:8-10, empty.confirm, inv=array.index_range+array.segment_null+array.ambiguous_boundary, "identity DCAS confirms s[L+1] null while L unchanged: deque observed empty")
           if (Dcas::dcas(*l_, s_[new_l_i], old_l, old_s, old_l, old_s)) {
             return std::nullopt;
           }
@@ -194,6 +214,8 @@ class ArrayDeque {
       } else {
         if constexpr (Opt.failure_view) {
           std::uint64_t cur_l = old_l, cur_s = old_s;
+          // DCD_SYNC(pop.commit)
+          // DCD_LP(Fig30:13-16, pop.commit, inv=array.view_malformed+array.index_range+array.segment_null, "L advances and s[L+1] is nulled in one step; failure view detects a stolen last item")
           if (Dcas::dcas_view(*l_, s_[new_l_i], cur_l, cur_s, new_l,
                               dcas::kNull)) {
             return Codec::decode(cur_s);
@@ -202,6 +224,8 @@ class ArrayDeque {
             return std::nullopt;
           }
         } else {
+          // DCD_SYNC(pop.commit)
+          // DCD_LP(Fig30:11-12, pop.commit, inv=array.index_range+array.segment_null, "L advances and s[L+1] is nulled in one step, claiming the value")
           if (Dcas::dcas(*l_, s_[new_l_i], old_l, old_s, new_l,
                          dcas::kNull)) {
             return Codec::decode(old_s);

@@ -67,13 +67,19 @@ class EliminationEnd {
     for (std::uint32_t i = 0; i < n; ++i) {
       dcas::Word& w = *slots_[i];
       if (Dcas::load(w) != dcas::kNull) continue;
+      // DCD_SYNC(elim.offer)
+      // DCD_LP(Elim:1, elim.offer, aux, inv=list.value_payload, "publishes the encoded value as a pending offer; no deque state changes")
       if (!Dcas::cas(w, dcas::kNull, off)) continue;  // elim.offer
       for (std::uint32_t p = 0; p < polls; ++p) {
         if (Dcas::load(w) == dcas::kElimTaken) break;
         util::cpu_relax();
       }
+      // DCD_SYNC(elim.cancel)
+      // DCD_LP(Elim:2, elim.cancel, aux, inv=list.value_payload, "withdraws the offer before any popper took it; value word returns to the caller")
       if (Dcas::cas(w, off, dcas::kNull)) return false;  // elim.cancel won
       // The cancel lost, so a popper's take committed: reclaim the slot.
+      // DCD_SYNC(elim.clear)
+      // DCD_LP(Elim:3, elim.clear, aux, inv=list.value_payload, "offerer reclaims the slot after a take committed; bookkeeping only")
       const bool cleared = Dcas::cas(w, dcas::kElimTaken, dcas::kNull);
       DCD_DEBUG_ASSERT(cleared && "only the offerer clears kElimTaken");
       (void)cleared;
@@ -90,6 +96,8 @@ class EliminationEnd {
       dcas::Word& w = *slots_[i];
       const std::uint64_t cur = Dcas::load(w);
       if (!dcas::is_elim_offer(cur)) continue;
+      // DCD_SYNC(elim.take)
+      // DCD_LP(Elim:4, elim.take, inv=list.value_payload, "pairs the push and pop: both operations linearize here, back to back, with the push first")
       if (Dcas::cas(w, cur, dcas::kElimTaken)) {  // elim.take — lin. point
         *value_word = dcas::elim_offer_value(cur);
         return true;

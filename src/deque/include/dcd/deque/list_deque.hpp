@@ -122,6 +122,8 @@ class ListDeque {
       Dcas::store_init(node->value, Codec::encode(v));
       Node* left_neighbor = dcas::pointer_of<Node>(old_l);
       const std::uint64_t old_lr = ptr(&sr_, false);     // lines 14-15
+      // DCD_SYNC(dcas.any)
+      // DCD_LP(Fig13:16-17, dcas.any, inv=list.reachable+list.backlinks+list.value_payload, "SR->L and neighbor->R swing to the new node in one step, publishing it")
       if (Dcas::dcas(sr_.left, left_neighbor->right, old_l, old_lr,
                      ptr(node, false), ptr(node, false))) {  // lines 16-17
         return PushResult::kOkay;                        // line 18
@@ -157,6 +159,8 @@ class ListDeque {
       Dcas::store_init(node->value, Codec::encode(v));
       Node* right_neighbor = dcas::pointer_of<Node>(old_r);
       const std::uint64_t old_rl = ptr(&sl_, false);
+      // DCD_SYNC(dcas.any)
+      // DCD_LP(Fig33:16-17, dcas.any, inv=list.reachable+list.backlinks+list.value_payload, "SL->R and neighbor->L swing to the new node in one step, publishing it")
       if (Dcas::dcas(sl_.right, right_neighbor->left, old_r, old_rl,
                      ptr(node, false), ptr(node, false))) {
         return PushResult::kOkay;
@@ -185,11 +189,15 @@ class ListDeque {
       } else if (dcas::is_null(v)) {                      // line 8
         // The node was logically deleted by a popLeft; if the snapshot
         // {pointer word, value} is still intact the deque is empty.
+        // DCD_SYNC(empty.confirm)
+        // DCD_LP(Fig11:9-11, empty.confirm, inv=list.sentinel_values+list.null_licensing, "identity DCAS confirms the snapshot {SR->L, null value} intact: deque observed empty")
         if (Dcas::dcas(sr_.left, node->value, old_l, v, old_l, v)) {
           return std::nullopt;                            // lines 9-11
         }
       } else {
         const std::uint64_t new_l = ptr(node, true);      // lines 14-15
+        // DCD_SYNC(pop.logical_delete)
+        // DCD_LP(Fig11:16-17, pop.logical_delete, inv=list.interior_deleted+list.null_licensing+list.value_payload, "sets SR->L's deleted bit and nulls the value, claiming it; splice is deferred to deleteRight")
         if (Dcas::dcas(sr_.left, node->value, old_l, v, new_l,
                        dcas::kNull)) {                    // lines 16-17
           return Codec::decode(v);                        // line 18
@@ -219,11 +227,15 @@ class ListDeque {
       if (dcas::deleted_of(old_r)) {
         delete_left();
       } else if (dcas::is_null(v)) {
+        // DCD_SYNC(empty.confirm)
+        // DCD_LP(Fig32:9-11, empty.confirm, inv=list.sentinel_values+list.null_licensing, "identity DCAS confirms the snapshot {SL->R, null value} intact: deque observed empty")
         if (Dcas::dcas(sl_.right, node->value, old_r, v, old_r, v)) {
           return std::nullopt;
         }
       } else {
         const std::uint64_t new_r = ptr(node, true);
+        // DCD_SYNC(pop.logical_delete)
+        // DCD_LP(Fig32:16-17, pop.logical_delete, inv=list.interior_deleted+list.null_licensing+list.value_payload, "sets SL->R's deleted bit and nulls the value, claiming it; splice is deferred to deleteLeft")
         if (Dcas::dcas(sl_.right, node->value, old_r, v, new_r,
                        dcas::kNull)) {
           return Codec::decode(v);
@@ -419,6 +431,8 @@ class ListDeque {
         if (dcas::pointer_of<Node>(old_llr) == node) {        // line 8
           // Lines 9-12: splice `node` out; SR->L := {ll, 0},
           // ll->R := {SR, 0}.
+          // DCD_SYNC(delete.splice)
+          // DCD_LP(Fig17:9-12, delete.splice, aux, inv=list.reachable+list.backlinks+list.deleted_target_null, "unlinks the single null node; helping step, no operation linearizes here")
           if (Dcas::dcas(sr_.left, ll->right, old_l, old_llr,
                          ptr(ll, false), ptr(&sr_, false))) {
             reclaimer_.retire(node, pool_);
@@ -431,6 +445,8 @@ class ListDeque {
           Node* left_null = dcas::pointer_of<Node>(old_r);
           // Lines 19-24: point the sentinels at each other, removing both
           // null nodes at once.
+          // DCD_SYNC(delete.two_null_splice)
+          // DCD_LP(Fig16:19-24, delete.two_null_splice, aux, inv=list.two_deleted_minimum+list.sentinel_values+list.deleted_target_null, "both sentinels swing to each other, removing the final two null nodes at once")
           if (Dcas::dcas(sr_.left, sl_.right, old_l, old_r, ptr(&sl_, false),
                          ptr(&sr_, false))) {
             reclaimer_.retire(node, pool_);
@@ -455,6 +471,8 @@ class ListDeque {
       if (!dcas::is_null(rr_value)) {
         const std::uint64_t old_rrl = Dcas::load(rr->left);
         if (dcas::pointer_of<Node>(old_rrl) == node) {
+          // DCD_SYNC(delete.splice)
+          // DCD_LP(Fig34:9-12, delete.splice, aux, inv=list.reachable+list.backlinks+list.deleted_target_null, "unlinks the single null node; helping step, no operation linearizes here")
           if (Dcas::dcas(sl_.right, rr->left, old_r, old_rrl,
                          ptr(rr, false), ptr(&sl_, false))) {
             reclaimer_.retire(node, pool_);
@@ -465,6 +483,8 @@ class ListDeque {
         const std::uint64_t old_l = Dcas::load(sr_.left);
         if (dcas::deleted_of(old_l)) {
           Node* right_null = dcas::pointer_of<Node>(old_l);
+          // DCD_SYNC(delete.two_null_splice)
+          // DCD_LP(Fig34:19-24, delete.two_null_splice, aux, inv=list.two_deleted_minimum+list.sentinel_values+list.deleted_target_null, "both sentinels swing to each other, removing the final two null nodes at once")
           if (Dcas::dcas(sl_.right, sr_.left, old_r, old_l, ptr(&sr_, false),
                          ptr(&sl_, false))) {
             reclaimer_.retire(node, pool_);

@@ -107,6 +107,8 @@ class ListDequeDummy {
       Dcas::store_init(node->right, ptr(&sr_));
       Dcas::store_init(node->left, old_l);
       Dcas::store_init(node->value, Codec::encode(v));
+      // DCD_SYNC(dcas.any)
+      // DCD_LP(Fig13:16-17, dcas.any, inv=list.reachable+list.backlinks+list.value_payload, "SR->L and neighbor->R swing to the new node in one step, publishing it")
       if (Dcas::dcas(sr_.left, neighbor->right, old_l, ptr(&sr_), ptr(node),
                      ptr(node))) {
         return PushResult::kOkay;
@@ -130,6 +132,8 @@ class ListDequeDummy {
       Dcas::store_init(node->left, ptr(&sl_));
       Dcas::store_init(node->right, old_r);
       Dcas::store_init(node->value, Codec::encode(v));
+      // DCD_SYNC(dcas.any)
+      // DCD_LP(Fig33:16-17, dcas.any, inv=list.reachable+list.backlinks+list.value_payload, "SL->R and neighbor->L swing to the new node in one step, publishing it")
       if (Dcas::dcas(sl_.right, neighbor->left, old_r, ptr(&sl_), ptr(node),
                      ptr(node))) {
         return PushResult::kOkay;
@@ -153,6 +157,8 @@ class ListDequeDummy {
       }
       if (dcas::is_null(pv)) {
         // Logically deleted from the left; empty if the snapshot holds.
+        // DCD_SYNC(empty.confirm)
+        // DCD_LP(Fig11:9-11, empty.confirm, inv=list.sentinel_values+list.null_licensing, "identity DCAS confirms the snapshot {SR->L, null value} intact: deque observed empty")
         if (Dcas::dcas(sr_.left, pointee->value, old_l, pv, old_l, pv)) {
           return std::nullopt;
         }
@@ -170,6 +176,8 @@ class ListDequeDummy {
         Dcas::store_init(dummy->value, dcas::kDummy);
         Dcas::store_init(dummy->left, ptr(pointee));
         Dcas::store_init(dummy->right, 0);
+        // DCD_SYNC(pop.commit)
+        // DCD_LP(Fig11:16-17, pop.commit, inv=list.interior_deleted+list.null_licensing+list.value_payload, "SR->L swings to the dummy (the deleted-bit stand-in) while the value is nulled, claiming it")
         if (Dcas::dcas(sr_.left, pointee->value, old_l, pv, ptr(dummy),
                        dcas::kNull)) {
           return Codec::decode(pv);
@@ -198,6 +206,8 @@ class ListDequeDummy {
         continue;
       }
       if (dcas::is_null(pv)) {
+        // DCD_SYNC(empty.confirm)
+        // DCD_LP(Fig32:9-11, empty.confirm, inv=list.sentinel_values+list.null_licensing, "identity DCAS confirms the snapshot {SL->R, null value} intact: deque observed empty")
         if (Dcas::dcas(sl_.right, pointee->value, old_r, pv, old_r, pv)) {
           return std::nullopt;
         }
@@ -210,6 +220,8 @@ class ListDequeDummy {
         Dcas::store_init(dummy->value, dcas::kDummy);
         Dcas::store_init(dummy->left, ptr(pointee));
         Dcas::store_init(dummy->right, 0);
+        // DCD_SYNC(pop.commit)
+        // DCD_LP(Fig32:16-17, pop.commit, inv=list.interior_deleted+list.null_licensing+list.value_payload, "SL->R swings to the dummy (the deleted-bit stand-in) while the value is nulled, claiming it")
         if (Dcas::dcas(sl_.right, pointee->value, old_r, pv, ptr(dummy),
                        dcas::kNull)) {
           return Codec::decode(pv);
@@ -369,6 +381,8 @@ class ListDequeDummy {
       if (!dcas::is_null(ll_value) && ll_value != dcas::kDummy) {
         const std::uint64_t old_llr = Dcas::load(ll->right);
         if (dcas::pointer_of<Node>(old_llr) == node) {
+          // DCD_SYNC(dcas.any)
+          // DCD_LP(Fig17:9-12, dcas.any, aux, inv=list.reachable+list.backlinks+list.deleted_target_null, "unlinks the null node and its dummy; helping step, no operation linearizes here")
           if (Dcas::dcas(sr_.left, ll->right, old_l, old_llr, ptr(ll),
                          ptr(&sr_))) {
             reclaimer_.retire(node, pool_);
@@ -382,6 +396,8 @@ class ListDequeDummy {
         if (is_dummy(left_dummy)) {
           Node* left_null =
               dcas::pointer_of<Node>(Dcas::load(left_dummy->left));
+          // DCD_SYNC(dcas.any)
+          // DCD_LP(Fig16:19-24, dcas.any, aux, inv=list.two_deleted_minimum+list.sentinel_values+list.deleted_target_null, "both sentinels swing to each other, removing the final null nodes and their dummies at once")
           if (Dcas::dcas(sr_.left, sl_.right, old_l, old_r, ptr(&sl_),
                          ptr(&sr_))) {
             reclaimer_.retire(node, pool_);
@@ -408,6 +424,8 @@ class ListDequeDummy {
       if (!dcas::is_null(rr_value) && rr_value != dcas::kDummy) {
         const std::uint64_t old_rrl = Dcas::load(rr->left);
         if (dcas::pointer_of<Node>(old_rrl) == node) {
+          // DCD_SYNC(dcas.any)
+          // DCD_LP(Fig34:9-12, dcas.any, aux, inv=list.reachable+list.backlinks+list.deleted_target_null, "unlinks the null node and its dummy; helping step, no operation linearizes here")
           if (Dcas::dcas(sl_.right, rr->left, old_r, old_rrl, ptr(rr),
                          ptr(&sl_))) {
             reclaimer_.retire(node, pool_);
@@ -421,6 +439,8 @@ class ListDequeDummy {
         if (is_dummy(right_dummy)) {
           Node* right_null =
               dcas::pointer_of<Node>(Dcas::load(right_dummy->left));
+          // DCD_SYNC(dcas.any)
+          // DCD_LP(Fig34:19-24, dcas.any, aux, inv=list.two_deleted_minimum+list.sentinel_values+list.deleted_target_null, "both sentinels swing to each other, removing the final null nodes and their dummies at once")
           if (Dcas::dcas(sl_.right, sr_.left, old_r, old_l, ptr(&sr_),
                          ptr(&sl_))) {
             reclaimer_.retire(node, pool_);

@@ -56,6 +56,7 @@ class NodePool {
     FreeNode* head = head_->load(std::memory_order_acquire);
     while (head != nullptr) {
       FreeNode* next = head->next.load(std::memory_order_relaxed);
+      // DCD_SYNC(allocator-internal)
       if (head_->compare_exchange_weak(head, next, std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
         live_->fetch_add(1, std::memory_order_relaxed);
@@ -72,8 +73,10 @@ class NodePool {
     DCD_DEBUG_ASSERT(owns(p));
     auto* fn = static_cast<FreeNode*>(p);
     FreeNode* head = head_->load(std::memory_order_relaxed);
+    // DCD_PROGRESS(Treiber push: a failed CAS means another push or pop committed; the loop only re-links and retries)
     do {
       fn->next.store(head, std::memory_order_relaxed);
+      // DCD_SYNC(allocator-internal)
     } while (!head_->compare_exchange_weak(head, fn,
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed));
@@ -131,6 +134,7 @@ class NodePool {
         head = head_->load(std::memory_order_acquire);
         continue;
       }
+      // DCD_SYNC(allocator-internal)
       if (head_->compare_exchange_weak(head, rest, std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
         // Terminate the detached chain so callers can walk it safely.
@@ -154,8 +158,10 @@ class NodePool {
     auto* f = static_cast<FreeNode*>(first);
     auto* l = static_cast<FreeNode*>(last);
     FreeNode* head = head_->load(std::memory_order_relaxed);
+    // DCD_PROGRESS(Treiber chain push: a failed CAS means another push or pop committed; the loop only re-links and retries)
     do {
       l->next.store(head, std::memory_order_relaxed);
+      // DCD_SYNC(allocator-internal)
     } while (!head_->compare_exchange_weak(head, f, std::memory_order_acq_rel,
                                            std::memory_order_relaxed));
     live_->fetch_sub(count, std::memory_order_relaxed);

@@ -65,6 +65,7 @@ bool EbrDomain::try_advance() {
     }
   }
   std::uint64_t expected = g;
+  // DCD_SYNC(allocator-internal)
   return global_epoch_->compare_exchange_strong(expected, g + 1,
                                                 std::memory_order_acq_rel);
 }

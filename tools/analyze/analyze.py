@@ -1,0 +1,526 @@
+#!/usr/bin/env python3
+"""AST-grade concurrency analyzer for the DCAS deque tree.
+
+Four passes over src/ (see passes.py and tools/analyze/README.md):
+
+  contract   every atomic access checked against the per-field memory-order
+             contract table in contracts.toml (pairing, guard loads,
+             operator-form implicit accesses)
+  sync       every CAS/DCAS call site in src/deque, src/reclaim, src/dcas
+             maps to a classified sync point from chaos.hpp's roster
+             (the inverse of tools/lint's registry-side check)
+  progress   every CAS-failure retry loop reaches a backoff/elimination/
+             helping edge on its failure path (the non-blocking claim as a
+             CFG obligation)
+  lp         every DCAS site in src/deque carries a DCD_LP proof-obligation
+             annotation; coverage is validated against the RepAuditor
+             clause roster and rendered into docs/PROOF_MAP.md
+
+Exit codes: 0 clean, 1 findings, 2 configuration error — matching
+tools/lint/atomics_audit.py, whose suppression-file format this tool
+shares (`<path-suffix> : <rule> : <substring>  # justification`).
+
+Frontends: the token frontend (cpp_model.py) is dependency-free and
+authoritative. When the clang python bindings + compile_commands.json are
+present (CI's analyze job), clang_frontend.py re-derives atomic accesses
+from the real AST and any divergence is itself a finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import dataclasses
+import io
+import json
+import pathlib
+import re
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import cpp_model as cm
+import passes
+import clang_frontend
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - python < 3.11
+    tomllib = None
+
+RULE_IDS = (
+    # pass 1: contract
+    "uncontracted-atomic-field", "unresolved-atomic-access",
+    "ambiguous-field", "memory-order-contract", "relaxed-guard-load",
+    "implicit-operator-access", "unpaired-release-store",
+    "acquire-without-release",
+    # pass 2: sync
+    "unannotated-sync-site", "unknown-sync-point",
+    "orphan-sync-annotation", "sync-roster-gap",
+    # pass 3: progress
+    "retry-loop-no-progress", "retry-loop-fallthrough-no-progress",
+    "retry-loop-unguarded-continue",
+    # pass 4: lp
+    "lp-unknown-figure", "lp-unknown-point", "lp-unknown-clause",
+    "lp-unattached", "lp-missing", "lp-clause-roster-gap",
+    # cross-cutting
+    "malformed-annotation", "frontend-divergence",
+)
+
+
+def config_error(msg: str) -> None:
+    print(f"analyze: config error: {msg}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+# --- suppressions (same format as tools/lint/atomics_audit.py) -------------
+
+@dataclasses.dataclass
+class Suppression:
+    path_suffix: str
+    rule: str
+    substring: str
+    justification: str
+    source_line: int
+    used: bool = False
+
+    def matches(self, f: passes.Finding) -> bool:
+        if not f.path.endswith(self.path_suffix) and self.path_suffix != "*":
+            return False
+        if f.rule != self.rule and self.rule != "*":
+            return False
+        return (self.substring == "*" or self.substring in f.snippet
+                or self.substring in f.message)
+
+
+def parse_suppressions(text: str, origin: str) -> list[Suppression]:
+    sups = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        matcher, sep, justification = line.partition("#")
+        justification = justification.strip()
+        if not sep or not justification:
+            config_error(f"{origin}:{lineno}: suppression lacks a "
+                         "justification (append `# <one-line reason>`)")
+        parts = [p.strip() for p in re.split(r"\s+:\s+", matcher.strip(),
+                                             maxsplit=2)]
+        if len(parts) != 3 or not all(parts):
+            config_error(f"{origin}:{lineno}: expected `<path-suffix> : "
+                         f"<rule> : <substring>  # <reason>`, got: {line}")
+        path_suffix, rule, substring = parts
+        if rule not in RULE_IDS and rule != "*":
+            config_error(f"{origin}:{lineno}: unknown rule id '{rule}'")
+        sups.append(Suppression(path_suffix, rule, substring, justification,
+                                lineno))
+    return sups
+
+
+def apply_suppressions(findings: list[passes.Finding],
+                       sups: list[Suppression]) -> list[passes.Finding]:
+    remaining = []
+    for f in findings:
+        hit = next((s for s in sups if s.matches(f)), None)
+        if hit is not None:
+            hit.used = True
+        else:
+            remaining.append(f)
+    return remaining
+
+
+# --- model building --------------------------------------------------------
+
+def load_config(path: pathlib.Path) -> dict:
+    if tomllib is None:
+        config_error("python >= 3.11 (tomllib) required")
+    if not path.is_file():
+        config_error(f"contract table missing: {path}")
+    with open(path, "rb") as fh:
+        return tomllib.load(fh)
+
+
+def scan_dir_union(cfg: dict) -> list[str]:
+    dirs: list[str] = []
+    for section in ("contract", "sync", "progress", "lp"):
+        for d in cfg.get(section, {}).get("scan_dirs", []):
+            if d not in dirs:
+                dirs.append(d)
+    return dirs or ["src"]
+
+
+def build_models(root: pathlib.Path,
+                 cfg: dict) -> tuple[list[cm.FileModel],
+                                     list[passes.Finding]]:
+    tokens = cfg.get("progress", {}).get("tokens", [])
+    models: list[cm.FileModel] = []
+    malformed: list[passes.Finding] = []
+    for d in scan_dir_union(cfg):
+        base = root / d
+        if not base.is_dir():
+            config_error(f"scan directory missing: {base}")
+        for p in sorted(base.rglob("*")):
+            if p.suffix not in cm.SOURCE_EXTENSIONS or not p.is_file():
+                continue
+            rel = p.relative_to(root).as_posix()
+            if any(m.path == rel for m in models):
+                continue
+            model, bad = cm.build_file_model(rel, p.read_text(), tokens)
+            models.append(model)
+            for line, msg in bad:
+                malformed.append(passes.Finding(
+                    "driver", "malformed-annotation", rel, line, msg,
+                    cm.line_text_at(model.lines, line).strip()[:160]))
+    return models, malformed
+
+
+def load_rosters(root: pathlib.Path,
+                 cfg: dict) -> tuple[set[str], set[str]]:
+    reg = root / cfg.get("sync", {}).get(
+        "registry", "src/dcas/include/dcd/dcas/chaos.hpp")
+    if not reg.is_file():
+        config_error(f"sync-point registry missing: {reg}")
+    roster = cm.parse_sync_roster(reg.read_text())
+    if not roster:
+        config_error(f"no sync-point declarations found in {reg}")
+    aud = root / cfg.get("lp", {}).get(
+        "auditor", "src/verify/src/rep_auditor.cpp")
+    if not aud.is_file():
+        config_error(f"RepAuditor source missing: {aud}")
+    clauses = cm.parse_auditor_roster(aud.read_text())
+    if not clauses:
+        config_error(f"no audit clauses found in {aud}")
+    return roster, clauses
+
+
+def run_all_passes(models: list[cm.FileModel], cfg: dict, roster: set[str],
+                   clauses: set[str]) -> list[passes.Finding]:
+    findings: list[passes.Finding] = []
+    findings += passes.run_contract_pass(models, cfg)
+    findings += passes.run_sync_pass(models, cfg, roster)
+    findings += passes.run_progress_pass(models, cfg)
+    findings += passes.run_lp_pass(models, cfg, roster, clauses)
+    return findings
+
+
+# --- driver ----------------------------------------------------------------
+
+def render(f: passes.Finding) -> str:
+    loc = f"{f.path}:{f.line}" if f.line else f.path
+    out = f"{loc}: [{f.pass_id}/{f.rule}] {f.message}"
+    if f.snippet:
+        out += f"\n    {f.snippet}"
+    return out
+
+
+def run_analysis(args) -> int:
+    root = args.root.resolve()
+    cfg = load_config(args.contracts)
+    roster, clauses = load_rosters(root, cfg)
+    models, malformed = build_models(root, cfg)
+    findings = malformed + run_all_passes(models, cfg, roster, clauses)
+
+    if args.frontend in ("auto", "clang"):
+        divergences, notes = clang_frontend.cross_check(
+            str(root), str(root / args.build_dir), models,
+            verbose=args.verbose)
+        if args.frontend == "clang" and not clang_frontend.HAVE_CLANG:
+            config_error("--frontend clang requested but the clang python "
+                         "bindings are not importable")
+        for d in divergences:
+            path, _, rest = d.partition(":")
+            line = int(rest.split(":", 1)[0]) if rest.split(":", 1)[0].isdigit() else 0
+            findings.append(passes.Finding(
+                "driver", "frontend-divergence", path, line, d))
+        if args.verbose:
+            for n in notes:
+                print(f"note: {n}", file=sys.stderr)
+
+    sups: list[Suppression] = []
+    if args.suppressions.is_file():
+        sups = parse_suppressions(args.suppressions.read_text(),
+                                  str(args.suppressions))
+    total = len(findings)
+    findings = apply_suppressions(findings, sups)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    for f in findings:
+        print(render(f))
+    unused = [s for s in sups if not s.used]
+    for s in unused:
+        level = "error" if args.strict else "warning"
+        print(f"{level}: unused suppression "
+              f"({args.suppressions.name}:{s.source_line}): "
+              f"{s.path_suffix} : {s.rule} : {s.substring}", file=sys.stderr)
+
+    if args.json:
+        payload = {
+            "schema": 1,
+            "root": str(root),
+            "files_scanned": len(models),
+            "raw_findings": total,
+            "suppressed": total - len(findings),
+            "findings": [f.to_dict() for f in findings],
+            "unused_suppressions": [dataclasses.asdict(s) for s in unused],
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if args.emit_proof_map or args.check_proof_map:
+        text = passes.emit_proof_map(models, cfg, clauses)
+        target = args.emit_proof_map or args.check_proof_map
+        if args.emit_proof_map:
+            target.write_text(text)
+            print(f"analyze: wrote {target}", file=sys.stderr)
+        else:
+            on_disk = target.read_text() if target.is_file() else ""
+            if on_disk != text:
+                print(f"analyze: {target} is stale; regenerate with "
+                      "`python3 tools/analyze/analyze.py --emit-proof-map "
+                      f"{target}`", file=sys.stderr)
+                return 1
+
+    if args.verbose or findings:
+        print(f"analyze: {len(models)} files, {total} raw findings, "
+              f"{total - len(findings)} suppressed, "
+              f"{len(findings)} reported, {len(sups) - len(unused)}/"
+              f"{len(sups)} suppressions used", file=sys.stderr)
+    if findings:
+        return 1
+    if unused and args.strict:
+        return 1
+    return 0
+
+
+# --- self test -------------------------------------------------------------
+
+SELF_TEST_CONFIG = {
+    "contract": {
+        "scan_dirs": ["src"],
+        "field": [
+            {"owner": "Foo", "member": "guard_", "loads": ["acquire"],
+             "stores": ["release"], "rmw": [], "guards": True,
+             "pairing": "internal", "why": "seeded publication field"},
+        ],
+    },
+    "sync": {
+        "scan_dirs": ["src/deque"],
+        "pseudo": {"policy-internal": "seeded"},
+    },
+    "progress": {
+        "scan_dirs": ["src/deque"],
+        "tokens": ["backoff.pause("],
+    },
+    "lp": {
+        "scan_dirs": ["src/deque"],
+        "figures": ["Fig3"],
+    },
+}
+
+SELF_TEST_ROSTER = {"dcas.any", "pop.commit"}
+SELF_TEST_CLAUSES = {"array.index_range", "array.segment_full"}
+
+SELF_TEST_CASES = [
+    # (path, source, expected rule ids) — at least one seeded violation per
+    # pass, mirroring tools/lint/atomics_audit.py's convention.
+    ("src/other/contract_bad.hpp",
+     "struct Foo {\n"
+     "  std::atomic<int> guard_;\n"
+     "  std::atomic<int> orphan_;\n"
+     "  int read() { return guard_.load(std::memory_order_relaxed); }\n"
+     "  void bump() { guard_ += 2; }\n"
+     "  void set() { guard_.store(1, std::memory_order_release); }\n"
+     "};\n",
+     ["uncontracted-atomic-field",        # orphan_ has no contract row
+      "memory-order-contract",            # relaxed load vs loads=[acquire]
+      "relaxed-guard-load",               # guards=true field read relaxed
+      "implicit-operator-access",         # guard_ += 2
+      "unpaired-release-store",           # release store, no acquire load
+      "lp-clause-roster-gap",             # no LP annotations at all ...
+      "lp-clause-roster-gap",             # ... so both clauses uncovered
+      "sync-roster-gap",                  # nothing claims dcas.any ...
+      "sync-roster-gap"]),                # ... or pop.commit
+    ("src/deque/sync_bad.hpp",
+     "struct D {\n"
+     "  bool f(W& w) {\n"
+     "    // DCD_SYNC(dcas.any)\n"
+     "    // DCD_LP(Fig3:5-6, dcas.any, inv=array.index_range, \"pub\")\n"
+     "    if (Dcas::dcas(w.a, w.b, o1, o2, n1, n2)) return true;\n"
+     "    Dcas::cas(w.a, o1, n1);\n"
+     "    return false;\n"
+     "  }\n"
+     "};\n",
+     ["unannotated-sync-site",            # the bare Dcas::cas site
+      "lp-missing",                       # ... which also lacks a DCD_LP
+      "lp-clause-roster-gap",             # array.segment_full uncovered
+      "sync-roster-gap"]),                # pop.commit never claimed
+    ("src/deque/sync_unknown.hpp",
+     "struct D {\n"
+     "  void g(W& w) {\n"
+     "    // DCD_SYNC(bogus.point)\n"
+     "    // DCD_LP(Fig99:1, bogus.point, inv=not.a.clause, \"x\")\n"
+     "    Dcas::cas(w.a, o1, n1);\n"
+     "  }\n"
+     "};\n",
+     ["unknown-sync-point",               # bogus.point not in roster/pseudo
+      "lp-unknown-figure",                # Fig99
+      "lp-unknown-point",                 # bogus.point
+      "lp-unknown-clause",                # not.a.clause
+      "lp-clause-roster-gap",             # both clauses uncovered
+      "lp-clause-roster-gap",
+      "sync-roster-gap",                  # dcas.any and pop.commit
+      "sync-roster-gap"]),
+    ("src/deque/progress_bad.hpp",
+     "struct D {\n"
+     "  void h(W& w) {\n"
+     "    for (;;) {\n"
+     "      // DCD_SYNC(dcas.any)\n"
+     "      // DCD_LP(Fig3:7, dcas.any, inv=array.index_range, \"pub\")\n"
+     "      if (Dcas::cas(w.a, o1, n1)) return;\n"
+     "      if (spin()) continue;\n"
+     "      backoff.pause();\n"
+     "    }\n"
+     "  }\n"
+     "  void i(W& w) {\n"
+     "    for (;;) {\n"
+     "      backoff.pause();\n"
+     "      // DCD_SYNC(pop.commit)\n"
+     "      // DCD_LP(Fig3:9, pop.commit, aux, inv=array.segment_full,"
+     " \"q\")\n"
+     "      if (Dcas::cas(w.b, o2, n2)) return;\n"
+     "    }\n"
+     "  }\n"
+     "  void j(W& w) {\n"
+     "    for (;;) {\n"
+     "      // DCD_SYNC(dcas.any)\n"
+     "      // DCD_LP(Fig3:11, dcas.any, inv=array.index_range, \"r\")\n"
+     "      if (Dcas::cas(w.c, o3, n3)) return;\n"
+     "    }\n"
+     "  }\n"
+     "};\n",
+     ["retry-loop-unguarded-continue",      # h: `continue` skips the pause
+      "retry-loop-fallthrough-no-progress",  # i: pause precedes the CAS
+      "retry-loop-no-progress"]),            # j: no progress edge at all
+]
+
+
+def self_test() -> int:
+    failures = []
+    for path, source, expected in SELF_TEST_CASES:
+        tokens = SELF_TEST_CONFIG["progress"]["tokens"]
+        model, malformed = cm.build_file_model(path, source, tokens)
+        findings = run_all_passes([model], SELF_TEST_CONFIG,
+                                  SELF_TEST_ROSTER, SELF_TEST_CLAUSES)
+        got = [f.rule for f in findings] + [m for _, m in malformed]
+        if sorted(got) != sorted(expected):
+            failures.append(f"{path}: expected {sorted(expected)}, "
+                            f"got {sorted(got)}")
+
+    # A clean seeded file must produce zero findings (all four passes).
+    clean_src = (
+        "struct D {\n"
+        "  std::atomic<int> guard_;\n"
+        "  bool f(W& w) {\n"
+        "    for (;;) {\n"
+        "      int g = guard_.load(std::memory_order_acquire);\n"
+        "      // DCD_SYNC(dcas.any)\n"
+        "      // DCD_LP(Fig3:5-6, dcas.any, inv=array.index_range,"
+        " \"published\")\n"
+        "      if (Dcas::dcas(w.a, w.b, o1, o2, n1, n2)) return g != 0;\n"
+        "      // DCD_SYNC(pop.commit)\n"
+        "      // DCD_LP(Fig3:9, pop.commit, inv=array.segment_full,"
+        " \"emptied\")\n"
+        "      if (Dcas::cas(w.a, o1, n1)) return true;\n"
+        "      backoff.pause();\n"
+        "    }\n"
+        "  }\n"
+        "  void set() { guard_.store(1, std::memory_order_release); }\n"
+        "};\n")
+    model, malformed = cm.build_file_model(
+        "src/deque/clean.hpp", clean_src,
+        SELF_TEST_CONFIG["progress"]["tokens"])
+    findings = run_all_passes([model], SELF_TEST_CONFIG, SELF_TEST_ROSTER,
+                              SELF_TEST_CLAUSES)
+    if findings or malformed:
+        failures.append("clean seeded file produced findings: "
+                        + "; ".join(f.rule for f in findings))
+
+    # The proof map renders both annotations from the clean file.
+    pm = passes.emit_proof_map([model], SELF_TEST_CONFIG, SELF_TEST_CLAUSES)
+    for needle in ("clean.hpp:8", "clean.hpp:11", "`array.index_range`",
+                   "Fig3 l.5-6", "2 linearization points"):
+        if needle not in pm:
+            failures.append(f"proof map missing '{needle}'")
+
+    # Suppressions: a justified entry suppresses and is marked used; a
+    # missing justification is a config error (exit 2).
+    bad_model, _ = cm.build_file_model(
+        "src/other/contract_bad.hpp", SELF_TEST_CASES[0][1], [])
+    findings = passes.run_contract_pass([bad_model], SELF_TEST_CONFIG)
+    sups = parse_suppressions(
+        "contract_bad.hpp : implicit-operator-access : guard_ "
+        " # seeded operator case\n", "<selftest>")
+    left = apply_suppressions(findings, sups)
+    if any(f.rule == "implicit-operator-access" for f in left) \
+            or not sups[0].used:
+        failures.append("justified suppression did not apply")
+    try:
+        with contextlib.redirect_stderr(io.StringIO()):
+            parse_suppressions("x.hpp : lp-missing : foo\n", "<selftest>")
+        failures.append("missing justification was accepted")
+    except SystemExit as e:
+        if e.code != 2:
+            failures.append("config error must exit 2")
+
+    # A malformed DCD_LP is reported, not silently ignored.
+    _, bad = cm.build_file_model(
+        "src/deque/malformed.hpp",
+        "// DCD_LP(Fig3, no-inv-clause)\nbool f();\n", [])
+    if not bad:
+        failures.append("malformed DCD_LP not reported")
+
+    if failures:
+        print("self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 2
+    print(f"self-test OK ({len(SELF_TEST_CASES)} seeded cases, "
+          "4 passes covered)")
+    return 0
+
+
+def main() -> int:
+    here = pathlib.Path(__file__).resolve().parent
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=here.parents[1],
+                    help="repo root (default: two levels up)")
+    ap.add_argument("--contracts", type=pathlib.Path,
+                    default=here / "contracts.toml")
+    ap.add_argument("--suppressions", type=pathlib.Path,
+                    default=here / "analyze.suppressions")
+    ap.add_argument("--build-dir", default="build",
+                    help="build dir holding compile_commands.json "
+                         "(clang frontend only)")
+    ap.add_argument("--frontend", choices=["auto", "token", "clang"],
+                    default="auto",
+                    help="auto: token model + clang cross-check when the "
+                         "bindings are importable; clang: require bindings")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="write machine-readable findings to this path")
+    ap.add_argument("--emit-proof-map", type=pathlib.Path, default=None,
+                    help="write the generated LP proof map (markdown)")
+    ap.add_argument("--check-proof-map", type=pathlib.Path, default=None,
+                    help="fail (exit 1) if the on-disk proof map is stale")
+    ap.add_argument("--strict", action="store_true",
+                    help="unused suppressions are errors, not warnings")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the seeded-violation self test and exit")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_analysis(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,760 @@
+"""Source model + token frontend for tools/analyze.
+
+This module turns a C++ translation unit into the small fact base the
+analysis passes (passes.py) consume:
+
+  * atomic field declarations (owner class, member name, value type)
+  * atomic accesses (member, operation, memory-order arguments)
+  * operator-form atomic accesses (``counter++`` — implicitly seq_cst and
+    invisible to the regex linter in tools/lint)
+  * CAS/DCAS call sites (policy calls ``Dcas::dcas/dcas_view/cas``,
+    ``compare_exchange_*`` on std::atomic, magazine notify points)
+  * retry loops (unbounded loops containing a CAS site) with the
+    failure-path facts pass 3 needs
+  * structured annotations: DCD_SYNC / DCD_PROGRESS / DCD_LP
+
+Two frontends can produce this model. The default token frontend below is
+dependency-free: it masks comments/strings, tracks brace scopes to find
+owners and enclosing functions, and walks balanced parens for call
+arguments. clang_frontend.py builds the same model from libclang when the
+python bindings and a compile_commands.json are available, and
+cross-checks the token model against real AST semantics. Both must agree
+on the tree (the analyze ctest label runs the token frontend; the CI
+analyze job additionally runs the clang frontend).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+SOURCE_EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
+
+ATOMIC_OPS = (
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong", "test_and_set", "clear",
+)
+CAS_OPS = ("compare_exchange_weak", "compare_exchange_strong")
+RMW_OPS = ("exchange", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+           "fetch_xor", "test_and_set")
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "do", "else",
+                    "return", "sizeof", "alignas", "alignof", "static_assert",
+                    "decltype", "assert"}
+
+
+# --- masking (comments kept aside: the annotations live in them) -----------
+
+def split_comments(text: str) -> tuple[str, list[tuple[int, str]]]:
+    """Return (masked_code, comments).
+
+    ``masked_code`` has comment and string-literal contents replaced by
+    spaces (length- and newline-preserving, so offsets stay valid).
+    ``comments`` is a list of (1-based start line, comment text) with the
+    ``//`` / ``/*`` markers stripped.
+    """
+    out = list(text)
+    comments: list[tuple[int, str]] = []
+    i, n = 0, len(text)
+    NORMAL, LINE, BLOCK, DQ, SQ = range(5)
+    state = NORMAL
+    com_start = 0
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state, com_start = LINE, i + 2
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state, com_start = BLOCK, i + 2
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = DQ
+                i += 1
+                continue
+            if c == "'":
+                state = SQ
+                i += 1
+                continue
+        elif state == LINE:
+            if c == "\n":
+                comments.append((line_of(text, com_start),
+                                 text[com_start:i]))
+                state = NORMAL
+            else:
+                out[i] = " "
+        elif state == BLOCK:
+            if c == "*" and nxt == "/":
+                comments.append((line_of(text, com_start),
+                                 text[com_start:i]))
+                state = NORMAL
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+        elif state in (DQ, SQ):
+            quote = '"' if state == DQ else "'"
+            if c == "\\" and nxt:
+                out[i] = " "
+                if nxt != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+        i += 1
+    if state == LINE:
+        comments.append((line_of(text, com_start), text[com_start:n]))
+    return "".join(out), comments
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def line_text_at(lines: list[str], lineno: int) -> str:
+    return lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+
+
+def balanced_args(masked: str, open_paren: int) -> str | None:
+    depth = 0
+    for j in range(open_paren, len(masked)):
+        c = masked[j]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return masked[open_paren + 1:j]
+    return None
+
+
+def matching_brace(masked: str, open_brace: int) -> int | None:
+    depth = 0
+    for j in range(open_brace, len(masked)):
+        c = masked[j]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return None
+
+
+# --- scopes ----------------------------------------------------------------
+
+@dataclasses.dataclass
+class Scope:
+    kind: str            # "namespace" | "class" | "func" | "control" | "other"
+    name: str
+    open_off: int
+    close_off: int
+
+
+def _classify_brace(masked: str, brace_off: int) -> tuple[str, str]:
+    """Classify the ``{`` at brace_off from the header text before it."""
+    start = max(masked.rfind(";", 0, brace_off), masked.rfind("{", 0, brace_off),
+                masked.rfind("}", 0, brace_off)) + 1
+    header = masked[start:brace_off]
+    m = re.search(r"\bnamespace\s+([A-Za-z_][\w:]*)?\s*$", header)
+    if m:
+        return "namespace", m.group(1) or "<anon>"
+    m = re.search(r"\b(class|struct|union)\s+(?:alignas\s*\([^)]*\)\s*)?"
+                  r"([A-Za-z_]\w*)", header)
+    if m and "enum" not in header and ";" not in header:
+        # `struct Foo : Bar` headers keep the name; `= {` initialisers and
+        # trailing-return uses never match the keyword.
+        return "class", m.group(2)
+    if re.search(r"\benum\b", header):
+        return "other", ""
+    first_word = re.match(r"\s*([A-Za-z_]\w*)", header)
+    if first_word and first_word.group(1) in CONTROL_KEYWORDS:
+        return "control", first_word.group(1)
+    m = re.search(r"([A-Za-z_]\w*)\s*\(", header)
+    if m and m.group(1) not in CONTROL_KEYWORDS:
+        return "func", m.group(1)
+    return "other", ""
+
+
+def build_scopes(masked: str) -> list[Scope]:
+    scopes: list[Scope] = []
+    stack: list[Scope] = []
+    for i, c in enumerate(masked):
+        if c == "{":
+            kind, name = _classify_brace(masked, i)
+            stack.append(Scope(kind, name, i, len(masked)))
+        elif c == "}" and stack:
+            s = stack.pop()
+            s.close_off = i
+            scopes.append(s)
+    scopes.extend(stack)  # unbalanced tail (truncated file): keep open
+    return scopes
+
+
+def enclosing(scopes: list[Scope], off: int, kind: str) -> str | None:
+    best: Scope | None = None
+    for s in scopes:
+        if s.kind == kind and s.open_off < off <= s.close_off:
+            if best is None or s.open_off > best.open_off:
+                best = s
+    return best.name if best else None
+
+
+# --- model -----------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class AtomicField:
+    owner: str           # innermost enclosing class/struct ("" at namespace scope)
+    name: str
+    value_type: str
+    path: str
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class AtomicAccess:
+    member: str          # trailing member/identifier before the op
+    op: str              # one of ATOMIC_OPS
+    orders: tuple[str, ...]   # memory_order tokens found in the call args
+    implicit: bool       # no memory_order argument given
+    path: str
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatorAccess:
+    member: str
+    token: str           # ++, --, +=, =, ...
+    path: str
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SyncAnnotation:
+    points: tuple[str, ...]
+    path: str
+    line: int            # line the annotation attaches to (the code line)
+
+
+@dataclasses.dataclass(frozen=True)
+class LpAnnotation:
+    figure: str          # e.g. "Fig11"
+    fig_lines: str       # e.g. "16-17"
+    point: str           # sync point this LP rides on
+    aux: bool            # structural/helping step, not an abstract LP
+    inv: tuple[str, ...]  # RepAuditor clause names this DCAS must preserve
+    condition: str
+    path: str
+    line: int            # code line the annotation attaches to
+
+
+@dataclasses.dataclass(frozen=True)
+class CasSite:
+    form: str            # "dcas" | "dcas_view" | "cas" | "std_cas" | "notify"
+    callee: str          # e.g. "Dcas::dcas", "compare_exchange_weak", point name
+    function: str        # best-effort enclosing function name
+    path: str
+    line: int
+
+
+@dataclasses.dataclass
+class RetryLoop:
+    header: str          # "for(;;)" | "while(true)" | "while(cond)" | "do-while"
+    path: str
+    line: int
+    body_span: tuple[int, int]          # offsets in masked text
+    cas_lines: tuple[int, ...]          # CAS sites inside the body/condition
+    progress_offsets: tuple[int, ...]   # progress-token hits inside the body
+    continue_offsets: tuple[int, ...]
+    tail_has_progress: bool             # last top-level stmt has a progress token
+    justified: str | None               # DCD_PROGRESS reason, if annotated
+
+
+@dataclasses.dataclass
+class FileModel:
+    path: str
+    fields: list[AtomicField] = dataclasses.field(default_factory=list)
+    accesses: list[AtomicAccess] = dataclasses.field(default_factory=list)
+    operator_accesses: list[OperatorAccess] = dataclasses.field(
+        default_factory=list)
+    cas_sites: list[CasSite] = dataclasses.field(default_factory=list)
+    loops: list[RetryLoop] = dataclasses.field(default_factory=list)
+    syncs: list[SyncAnnotation] = dataclasses.field(default_factory=list)
+    lps: list[LpAnnotation] = dataclasses.field(default_factory=list)
+    lines: list[str] = dataclasses.field(default_factory=list)
+
+
+# --- annotation grammar ----------------------------------------------------
+#
+#   // DCD_SYNC(point[|point...])
+#   // DCD_PROGRESS(free-text reason)
+#   // DCD_LP(FigN:lines, sync.point[, aux], inv=clause[+clause...], "cond")
+#
+# An annotation attaches to the next code line at most ATTACH_WINDOW lines
+# below it (or to its own line when trailing a statement).
+
+ATTACH_WINDOW = 4
+
+SYNC_RE = re.compile(r"DCD_SYNC\(\s*([a-z_.|\-\s]+?)\s*\)")
+PROGRESS_RE = re.compile(r"DCD_PROGRESS\(\s*([^)]*?)\s*\)")
+LP_RE = re.compile(
+    r"DCD_LP\(\s*"
+    r"(?P<fig>[A-Za-z]\w*):(?P<lines>[\w\-,]+)\s*,\s*"
+    r"(?P<point>[a-z_.\-]+)\s*,\s*"
+    r"(?:(?P<aux>aux)\s*,\s*)?"
+    r"inv=(?P<inv>[a-z_.+]+)\s*,\s*"
+    r'"(?P<cond>[^"]*)"\s*\)')
+
+
+def _attach_line(code_lines: list[str], comment_line: int,
+                 comment_count: int) -> int:
+    """First non-blank, non-comment-only code line after the annotation."""
+    ln = comment_line + comment_count
+    while ln <= len(code_lines):
+        stripped = code_lines[ln - 1].strip()
+        if stripped and not stripped.startswith("//"):
+            return ln
+        if ln - comment_line > ATTACH_WINDOW + comment_count:
+            break
+        ln += 1
+    return comment_line
+
+
+def _joined_comment_blocks(
+        comments: list[tuple[int, str]],
+        code_lines: list[str]) -> list[tuple[int, int, str, bool]]:
+    """Merge consecutive //-comment lines into (start, nlines, text, trailing).
+
+    A trailing comment (code before the // on its line) is always a block of
+    its own and never merges with neighbouring full-line comments: it belongs
+    to its statement, while an adjacent full-line comment starts (or
+    continues) a separate leading block.
+    """
+    blocks: list[tuple[int, int, str, bool]] = []
+    for ln, txt in comments:
+        own = code_lines[ln - 1] if ln <= len(code_lines) else ""
+        trailing = bool(own.split("//")[0].strip())
+        if (not trailing and blocks and not blocks[-1][3]
+                and ln == blocks[-1][0] + blocks[-1][1]):
+            start, cnt, acc, _ = blocks[-1]
+            blocks[-1] = (start, cnt + 1, acc + " " + txt.strip(), False)
+        else:
+            blocks.append((ln, 1, txt.strip(), trailing))
+    return blocks
+
+
+def parse_annotations(path: str, comments: list[tuple[int, str]],
+                      code_lines: list[str]
+                      ) -> tuple[list[SyncAnnotation], list[LpAnnotation],
+                                 dict[int, str], list[tuple[int, str]]]:
+    """Returns (syncs, lps, progress-by-attached-line, malformed)."""
+    syncs: list[SyncAnnotation] = []
+    lps: list[LpAnnotation] = []
+    progress: dict[int, str] = {}
+    malformed: list[tuple[int, str]] = []
+    for start, nlines, text, trailing in _joined_comment_blocks(comments,
+                                                                code_lines):
+        # Trailing comments attach to their own line; leading ones to the
+        # next code line.
+        attach = start if trailing else _attach_line(code_lines, start, nlines)
+        for m in SYNC_RE.finditer(text):
+            points = tuple(p.strip() for p in m.group(1).split("|")
+                           if p.strip())
+            if points:
+                syncs.append(SyncAnnotation(points, path, attach))
+            else:
+                malformed.append((start, "DCD_SYNC with no points"))
+        for m in LP_RE.finditer(text):
+            inv = tuple(c for c in m.group("inv").split("+") if c)
+            lps.append(LpAnnotation(
+                m.group("fig"), m.group("lines"), m.group("point"),
+                m.group("aux") is not None, inv, m.group("cond"),
+                path, attach))
+        for m in PROGRESS_RE.finditer(text):
+            progress[attach] = m.group(1)
+        # Any DCD_LP( that did not parse with the full grammar is malformed.
+        for m in re.finditer(r"DCD_LP\(", text):
+            if not any(lp_m.start() == m.start()
+                       for lp_m in LP_RE.finditer(text)):
+                malformed.append((start, "DCD_LP does not match the grammar "
+                                  "DCD_LP(FigN:lines, point[, aux], "
+                                  'inv=a+b, "cond")'))
+    return syncs, lps, progress, malformed
+
+
+# --- extraction ------------------------------------------------------------
+
+_ATOMIC_DECL_RE = re.compile(
+    r"(?:static\s+|inline\s+|mutable\s+|constexpr\s+)*"
+    r"(?:util::CacheAligned<\s*)?"
+    r"std::atomic<(?P<vt>[^;{}]+?)>\s*>?\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*"
+    r"(?:\[[^\]]*\]\s*)?"
+    r"(?:[;={]|\{)")
+
+_ATOMIC_FLAG_DECL_RE = re.compile(
+    r"(?:static\s+|inline\s+)*std::atomic_flag\s+(?P<name>[A-Za-z_]\w*)")
+
+# Heap-allocated atomic arrays: std::unique_ptr<std::atomic<T>[]> cells_;
+_ATOMIC_ARRAY_DECL_RE = re.compile(
+    r"std::unique_ptr<\s*std::atomic<(?P<vt>[^;{}]+?)>\s*\[\]\s*>\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*[;={]")
+
+_ACCESS_RE = re.compile(
+    r"(?:\.|->)\s*(" + "|".join(ATOMIC_OPS) + r")\s*(\()")
+
+_ORDER_RE = re.compile(r"memory_order(?:::|_)(\w+)")
+
+_POLICY_CALL_RE = re.compile(r"\b(?:Dcas|Inner)::(dcas_view|dcas|cas)\s*\(")
+
+_NOTIFY_RE = re.compile(r"magazine_sync::k(Refill|Flush)\b")
+
+_LOOP_RE = re.compile(
+    r"\b(?:(?P<forever>for\s*\(\s*;\s*;\s*\))"
+    r"|(?P<wtrue>while\s*\(\s*true\s*\))"
+    r"|(?P<while>while\s*\()"
+    r"|(?P<do>do))\s*\{")
+
+
+def _member_before(masked: str, dot_off: int) -> str:
+    """Backwards scan from the ``.``/``->`` to the member identifier,
+    skipping one balanced ``(...)``/``[...]`` group (calls, subscripts)."""
+    j = dot_off - 1
+    while j >= 0 and masked[j].isspace():
+        j -= 1
+    for close_c, open_c in ((")", "("), ("]", "[")):
+        if j >= 0 and masked[j] == close_c:
+            depth = 0
+            while j >= 0:
+                if masked[j] == close_c:
+                    depth += 1
+                elif masked[j] == open_c:
+                    depth -= 1
+                    if depth == 0:
+                        j -= 1
+                        break
+                j -= 1
+            while j >= 0 and masked[j].isspace():
+                j -= 1
+    end = j
+    while j >= 0 and (masked[j].isalnum() or masked[j] == "_"):
+        j -= 1
+    return masked[j + 1:end + 1]
+
+
+def _classify_op(op: str) -> str:
+    if op in CAS_OPS:
+        return "cas"
+    if op == "load":
+        return "load"
+    if op in ("store", "clear"):
+        return "store"
+    return "rmw"
+
+
+def extract_fields(path: str, masked: str,
+                   scopes: list[Scope]) -> list[AtomicField]:
+    fields = []
+    for m in _ATOMIC_DECL_RE.finditer(masked):
+        head = masked[max(0, m.start() - 24):m.start()]
+        # References (`std::atomic<T>&`) are parameters / accessors, and
+        # template arguments (`unique_ptr<std::atomic<T>[]>`) carry their
+        # own declarator — both are skipped; the declaration we keep is the
+        # storage itself.
+        decl = masked[m.start():m.end()]
+        if "&" in decl.split(">")[-2][-3:] if decl.count(">") >= 2 else False:
+            continue
+        if re.search(r">\s*&", decl):
+            continue
+        if head.rstrip().endswith(("<", ",", "(")):
+            continue
+        owner = enclosing(scopes, m.start(), "class") or ""
+        fields.append(AtomicField(owner, m.group("name"),
+                                  " ".join(m.group("vt").split()),
+                                  path, line_of(masked, m.start())))
+    for m in _ATOMIC_FLAG_DECL_RE.finditer(masked):
+        owner = enclosing(scopes, m.start(), "class") or ""
+        fields.append(AtomicField(owner, m.group("name"), "flag", path,
+                                  line_of(masked, m.start())))
+    for m in _ATOMIC_ARRAY_DECL_RE.finditer(masked):
+        owner = enclosing(scopes, m.start(), "class") or ""
+        fields.append(AtomicField(owner, m.group("name"),
+                                  " ".join(m.group("vt").split()) + "[]",
+                                  path, line_of(masked, m.start())))
+    return fields
+
+
+def _split_top_level(args: str) -> list[str]:
+    # Angle brackets are NOT tracked: `->` and comparisons would unbalance
+    # them, and template args with top-level commas don't occur in call
+    # arguments in this tree.
+    parts, depth, start = [], 0, 0
+    for i, c in enumerate(args):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            parts.append(args[start:i])
+            start = i + 1
+    tail = args[start:]
+    if tail.strip() or parts:
+        parts.append(tail)
+    return parts
+
+
+# Which argument positions carry the memory_order for each op. Orders are
+# read only from those positions so a nested `x.load(acquire)` inside a
+# store's value argument cannot masquerade as the store's own order.
+_ORDER_ARG_POSITIONS = {
+    "load": (0,), "test_and_set": (0,), "clear": (0,),
+    "store": (1,), "exchange": (1,), "fetch_add": (1,), "fetch_sub": (1,),
+    "fetch_and": (1,), "fetch_or": (1,), "fetch_xor": (1,),
+    "compare_exchange_weak": (2, 3), "compare_exchange_strong": (2, 3),
+}
+
+
+def extract_accesses(path: str, masked: str,
+                     flag_names: set[str]) -> list[AtomicAccess]:
+    accesses = []
+    for m in _ACCESS_RE.finditer(masked):
+        op = m.group(1)
+        args = balanced_args(masked, m.start(2))
+        if args is None:
+            continue
+        member = _member_before(masked, m.start())
+        if not member:
+            continue
+        if op in ("test_and_set", "clear") and member not in flag_names:
+            # `.clear()` on containers shares a spelling with atomic_flag;
+            # only members declared atomic in this file count.
+            continue
+        parts = _split_top_level(args)
+        orders = []
+        for pos in _ORDER_ARG_POSITIONS[op]:
+            if pos < len(parts):
+                found = _ORDER_RE.findall(parts[pos])
+                if found:
+                    orders.append(found[0])
+        accesses.append(AtomicAccess(member, op, tuple(orders), not orders,
+                                     path, line_of(masked, m.start())))
+    return accesses
+
+
+def extract_operator_accesses(path: str, masked: str,
+                              fields: list[AtomicField],
+                              scopes: list[Scope]) -> list[OperatorAccess]:
+    """Implicitly-seq_cst operator uses of declared atomic members.
+
+    Only bare-name uses inside the declaring class (or of namespace-scope
+    atomics) are matched: a dotted use (`obj.name += 1`) cannot be
+    attributed to the atomic without type information, and this codebase
+    has plain fields/locals sharing names with atomics (`hits`, `next`,
+    `lo`). The clang frontend covers the dotted forms in CI.
+    """
+    out = []
+    if not fields:
+        return out
+    by_name: dict[str, list[AtomicField]] = {}
+    for f in fields:
+        by_name.setdefault(f.name, []).append(f)
+    names = "|".join(sorted(re.escape(n) for n in by_name))
+    post = re.compile(r"\b(" + names + r")\s*(\+\+|--|\+=|-=|\|=|&=|\^=|=(?![=]))")
+    pre = re.compile(r"(\+\+|--)\s*(" + names + r")\b")
+    decl_lines = {f.line for f in fields}
+
+    def _bare_member(name: str, off: int) -> bool:
+        j = off - 1
+        while j >= 0 and masked[j].isspace():
+            j -= 1
+        if j >= 0 and (masked[j].isalnum()
+                       or masked[j] in "_.>*&,<-"):
+            return False  # declaration, dotted access, or template noise
+        owner = enclosing(scopes, off, "class") or ""
+        return any(f.owner == owner or f.owner == ""
+                   for f in by_name[name])
+
+    for m in post.finditer(masked):
+        ln = line_of(masked, m.start())
+        if ln in decl_lines:
+            continue  # brace/equals initialisation at the declaration
+        if _bare_member(m.group(1), m.start()):
+            out.append(OperatorAccess(m.group(1), m.group(2), path, ln))
+    for m in pre.finditer(masked):
+        if _bare_member(m.group(2), m.start(2)):
+            out.append(OperatorAccess(m.group(2), m.group(1), path,
+                                      line_of(masked, m.start())))
+    return out
+
+
+def extract_cas_sites(path: str, masked: str,
+                      scopes: list[Scope]) -> list[CasSite]:
+    sites = []
+    for m in _POLICY_CALL_RE.finditer(masked):
+        form = m.group(1)
+        func = enclosing(scopes, m.start(), "func") or ""
+        sites.append(CasSite(form, masked[m.start():m.end() - 1].rstrip("( "),
+                             func, path, line_of(masked, m.start())))
+    for m in re.finditer(r"(?:\.|->)\s*(compare_exchange_weak|"
+                         r"compare_exchange_strong)\s*\(", masked):
+        func = enclosing(scopes, m.start(), "func") or ""
+        sites.append(CasSite("std_cas", m.group(1), func, path,
+                             line_of(masked, m.start())))
+    return sites
+
+
+def extract_notify_sites(path: str, text: str,
+                         scopes: list[Scope]) -> list[CasSite]:
+    """Uses (not declarations) of the magazine sync-point names."""
+    sites = []
+    for m in _NOTIFY_RE.finditer(text):
+        head = text[max(0, m.start() - 80):m.start()]
+        if re.search(r"constexpr\s+const\s+char\*\s+$", head.rstrip() + " "):
+            continue
+        if "kRefill =" in text[m.start():m.end() + 3] or \
+           "kFlush =" in text[m.start():m.end() + 3]:
+            continue
+        point = ("magazine.refill" if m.group(1) == "Refill"
+                 else "magazine.flush")
+        func = enclosing(scopes, m.start(), "func") or ""
+        sites.append(CasSite("notify", point, func, path,
+                             line_of(text, m.start())))
+    return sites
+
+
+def extract_loops(path: str, masked: str, cas_sites: list[CasSite],
+                  progress_tokens: list[str],
+                  progress_by_line: dict[int, str]) -> list[RetryLoop]:
+    loops = []
+    cas_line_set = {s.line for s in cas_sites if s.form != "notify"}
+    for m in _LOOP_RE.finditer(masked):
+        open_brace = masked.index("{", m.end() - 1)
+        close = matching_brace(masked, open_brace)
+        if close is None:
+            continue
+        if m.group("while") and not (m.group("forever") or m.group("wtrue")):
+            # General while: the condition itself may hold the CAS.
+            cond = balanced_args(masked, m.end() - 2)
+            header = "while(cond)"
+        elif m.group("do"):
+            tail = masked[close:close + 200]
+            wm = re.match(r"\}\s*while\s*(\()", tail)
+            if not wm:
+                continue
+            cond = balanced_args(masked, close + wm.start(1))
+            header = "do-while"
+        else:
+            cond = None
+            header = "for(;;)" if m.group("forever") else "while(true)"
+        body = masked[open_brace + 1:close]
+        body_first_line = line_of(masked, open_brace)
+        body_last_line = line_of(masked, close)
+        cas_lines = tuple(ln for ln in sorted(cas_line_set)
+                          if body_first_line <= ln <= body_last_line)
+        cond_has_cas = bool(cond) and ("compare_exchange" in cond
+                                       or "Dcas::" in cond
+                                       or "Inner::" in cond)
+        if not cas_lines and not cond_has_cas:
+            continue
+        if header == "while(cond)" and not cond_has_cas:
+            # A bounded-looking walk (e.g. list traversal) that happens to
+            # contain a CAS still retries on failure; keep it.
+            pass
+        prog_offsets = []
+        for tok in progress_tokens:
+            start = 0
+            while True:
+                k = body.find(tok, start)
+                if k < 0:
+                    break
+                prog_offsets.append(open_brace + 1 + k)
+                start = k + 1
+        cont_offsets = [open_brace + 1 + c.start()
+                        for c in re.finditer(r"\bcontinue\s*;", body)]
+        tail_has_progress = _tail_statement_has_progress(body,
+                                                         progress_tokens)
+        loop_line = line_of(masked, m.start())
+        justified = None
+        for probe in range(loop_line, max(0, loop_line - ATTACH_WINDOW - 1),
+                           -1):
+            if probe in progress_by_line:
+                justified = progress_by_line[probe]
+                break
+        loops.append(RetryLoop(header, path, loop_line,
+                               (open_brace + 1, close), cas_lines,
+                               tuple(prog_offsets), tuple(cont_offsets),
+                               tail_has_progress, justified))
+    return loops
+
+
+def _tail_statement_has_progress(body: str,
+                                 progress_tokens: list[str]) -> bool:
+    """True when the loop body's final top-level statement contains a
+    progress token (the fall-through path of a failed CAS iteration)."""
+    depth = 0
+    stmt_start = 0
+    last_stmt = ""
+    for i, c in enumerate(body):
+        if c in "({[":
+            depth += 1
+        elif c in ")}]":
+            depth -= 1
+            if depth == 0 and c == "}":
+                stmt_start = i + 1
+        elif c == ";" and depth == 0:
+            last_stmt = body[stmt_start:i + 1]
+            stmt_start = i + 1
+    if not last_stmt.strip():
+        return False
+    return any(tok in last_stmt for tok in progress_tokens)
+
+
+# --- per-file driver -------------------------------------------------------
+
+def build_file_model(path: str, text: str,
+                     progress_tokens: list[str]) -> tuple[FileModel,
+                                                          list[tuple[int, str]]]:
+    """Parse one file; returns (model, malformed-annotation diagnostics)."""
+    masked, comments = split_comments(text)
+    scopes = build_scopes(masked)
+    lines = text.splitlines()
+    model = FileModel(path=path, lines=lines)
+    model.fields = extract_fields(path, masked, scopes)
+    model.accesses = extract_accesses(path, masked,
+                                      {f.name for f in model.fields})
+    model.operator_accesses = extract_operator_accesses(
+        path, masked, model.fields, scopes)
+    model.cas_sites = extract_cas_sites(path, masked, scopes)
+    model.cas_sites += extract_notify_sites(path, text, scopes)
+    syncs, lps, progress, malformed = parse_annotations(path, comments, lines)
+    model.syncs, model.lps = syncs, lps
+    model.loops = extract_loops(path, masked, model.cas_sites,
+                                progress_tokens, progress)
+    return model, malformed
+
+
+# --- rosters ---------------------------------------------------------------
+
+SYNC_POINT_DECL_RE = re.compile(
+    r'inline\s+constexpr\s+const\s+char\*\s+k\w+\s*=\s*"([a-z_.]+)"')
+
+AUDIT_CLAUSE_RE = re.compile(r'fail\("([a-z_.]+)')
+
+
+def parse_sync_roster(registry_text: str) -> set[str]:
+    return set(SYNC_POINT_DECL_RE.findall(registry_text))
+
+
+def parse_auditor_roster(auditor_text: str) -> set[str]:
+    """RepAuditor clause names (base names, [..] diagnostics stripped)."""
+    return set(AUDIT_CLAUSE_RE.findall(auditor_text))

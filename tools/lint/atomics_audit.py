@@ -458,7 +458,7 @@ def collect_sync_point_files(
 
 
 def run_audit(root: pathlib.Path, suppression_path: pathlib.Path,
-              verbose: bool) -> int:
+              verbose: bool, strict: bool = False) -> int:
     sups: list[Suppression] = []
     if suppression_path.is_file():
         sups = parse_suppressions(suppression_path.read_text(),
@@ -488,17 +488,20 @@ def run_audit(root: pathlib.Path, suppression_path: pathlib.Path,
     findings = apply_suppressions(findings, sups)
     for f in findings:
         print(f.render())
-    for s in sups:
-        if not s.used:
-            print(f"warning: unused suppression "
-                  f"({suppression_path.name}:{s.source_line}): "
-                  f"{s.path_suffix} : {s.rule} : {s.substring}",
-                  file=sys.stderr)
+    unused = [s for s in sups if not s.used]
+    for s in unused:
+        severity = "error" if strict else "warning"
+        print(f"{severity}: unused suppression "
+              f"({suppression_path.name}:{s.source_line}): "
+              f"{s.path_suffix} : {s.rule} : {s.substring}",
+              file=sys.stderr)
     if verbose or findings:
         print(f"atomics_audit: {len(files)} files, {total} raw findings, "
               f"{total - len(findings)} suppressed, "
               f"{len(findings)} reported", file=sys.stderr)
-    return 1 if findings else 0
+    if findings:
+        return 1
+    return 1 if (strict and unused) else 0
 
 
 # --- self test -------------------------------------------------------------
@@ -592,6 +595,12 @@ def self_test() -> int:
     if not apply_suppressions(findings, sups):
         failures.append("unrelated suppression hid a finding")
 
+    # ... and under --strict its unused entry must turn the run into a
+    # failure: a clean source tree plus a stale suppression exits 1.
+    # (Exercised via the used-flag the strict path keys on.)
+    if sups[0].used:
+        failures.append("unrelated suppression marked used")
+
     # `*` suppresses the whole file for one rule — and only that rule.
     bits = audit_text("src/dcas/include/audit_layer.hpp",
                       "static_assert((x & kDeletedBit) == 0);\n"
@@ -678,6 +687,9 @@ def main() -> int:
                          "suppressions next to this script)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the seeded-violation self test and exit")
+    ap.add_argument("--strict", action="store_true",
+                    help="treat unused suppression entries as errors "
+                         "(exit 1) instead of warnings")
     ap.add_argument("--verbose", action="store_true")
     args = ap.parse_args()
     if args.self_test:
@@ -685,7 +697,7 @@ def main() -> int:
     sup = (args.suppressions if args.suppressions is not None else
            pathlib.Path(__file__).resolve().parent /
            "atomics_audit.suppressions")
-    return run_audit(args.root.resolve(), sup, args.verbose)
+    return run_audit(args.root.resolve(), sup, args.verbose, args.strict)
 
 
 if __name__ == "__main__":
