@@ -39,11 +39,14 @@
 namespace {
 
 using namespace dcd::deque;
+using dcd::bench::BackoffSnapshot;
 using dcd::bench::fill;
+using dcd::bench::LatencySampler;
 using dcd::bench::mixed_op;
 using dcd::bench::print_topology_once;
 using dcd::bench::report_telemetry;
 using dcd::bench::reset_telemetry;
+using dcd::bench::RunTelemetry;
 using dcd::dcas::McasDcas;
 using dcd::dcas::StripedLockDcas;
 using dcd::reclaim::EbrDomain;
@@ -91,11 +94,14 @@ void attach_pool_counters(benchmark::State& state, const D& d,
 template <typename D>
 void BM_DequeMixed(benchmark::State& state) {
   static D* d = nullptr;
+  static RunTelemetry* telemetry = nullptr;
   if (state.thread_index() == 0) {
     print_topology_once();
     d = new D(kCapacity);
     fill(*d, kPrefill);
+    telemetry = new RunTelemetry(state.threads());
   }
+  dcd::bench::pin_bench_thread(state);
   dcd::util::Xoshiro256 rng(0x5eedULL +
                             static_cast<std::uint64_t>(state.thread_index()));
   const std::uint64_t v = 1000 + static_cast<std::uint64_t>(
@@ -105,7 +111,10 @@ void BM_DequeMixed(benchmark::State& state) {
   // full push is allocator starvation — counting its near-no-op retry as
   // throughput would reward the starving configuration.
   std::int64_t push_full = 0;
+  LatencySampler lat;
+  const BackoffSnapshot before = BackoffSnapshot::take();
   for (auto _ : state) {
+    const std::uint64_t t0 = lat.begin();
     switch (rng.below(4)) {
       case 0:
         if (d->push_right(v) != PushResult::kOkay) ++push_full;
@@ -120,9 +129,15 @@ void BM_DequeMixed(benchmark::State& state) {
         benchmark::DoNotOptimize(d->pop_left());
         break;
     }
+    lat.end(t0);
   }
   state.SetItemsProcessed(state.iterations() - push_full);
+  telemetry->submit(lat.histogram(), before);
   if (state.thread_index() == 0) {
+    telemetry->report(state);
+    dcd::bench::report_pinning(state);
+    delete telemetry;
+    telemetry = nullptr;
     attach_pool_counters(state, *d,
                          static_cast<double>(state.iterations()) *
                              static_cast<double>(state.threads()));
@@ -166,13 +181,19 @@ template <typename PoolT>
 void BM_PoolCycle(benchmark::State& state) {
   static PoolT* pool = nullptr;
   static EbrDomain* domain = nullptr;
+  static RunTelemetry* telemetry = nullptr;
   if (state.thread_index() == 0) {
     print_topology_once();
     pool = new PoolT(64, 1 << 15);
     domain = new EbrDomain();
+    telemetry = new RunTelemetry(state.threads());
   }
+  dcd::bench::pin_bench_thread(state);
   std::int64_t served = 0;
+  LatencySampler lat;
+  const BackoffSnapshot before = BackoffSnapshot::take();
   for (auto _ : state) {
+    const std::uint64_t t0 = lat.begin();
     EbrDomain::Guard guard(*domain);
     void* p = pool->allocate();
     if (p == nullptr) {
@@ -186,12 +207,18 @@ void BM_PoolCycle(benchmark::State& state) {
       ++served;
     }
     benchmark::DoNotOptimize(p);
+    lat.end(t0);
   }
   // Only completed cycles count: when limbo outpaces the grace period a
   // failed allocate is a near-no-op, and counting it would reward
   // exhaustion with apparent throughput.
   state.SetItemsProcessed(served);
+  telemetry->submit(lat.histogram(), before);
   if (state.thread_index() == 0) {
+    telemetry->report(state);
+    dcd::bench::report_pinning(state);
+    delete telemetry;
+    telemetry = nullptr;
     attach_pool_counters(state, *pool, 0);
     delete domain;  // drains limbo back into the pool
     delete pool;

@@ -1,0 +1,326 @@
+#!/usr/bin/env python3
+"""Gate a fresh benchmark artifact against the committed perf trajectory.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json FRESH.json \
+        [--max-regression PCT] [--max-p99-inflation PCT]
+    scripts/bench_compare.py --self-test
+
+Both inputs are schema-2 artifacts produced by scripts/bench_to_json.py;
+each is validated before any numbers are compared. Rows are matched by
+(name, aggregate, threads) — the same identity bench_to_json preserves —
+with "median" preferred when a row exists under several aggregates
+(median is robust to the one-slow-rep outliers that plague shared
+runners; mean is not).
+
+Per matched row the gate checks two things:
+
+  * throughput:  fresh items_per_second must not fall more than
+    --max-regression percent below baseline (default 5%). Rows without
+    items_per_second fall back to real_time_ns inflation with the same
+    threshold.
+  * tail latency: the fresh lat_p99_ns counter must not exceed baseline
+    by more than --max-p99-inflation percent (default 25% — comfortably
+    above the ~6% quantization of the histogram buckets, so the gate can
+    only trip on a real tail shift). Rows without the counter on either
+    side skip this check.
+
+Honesty rules, matching the recording side's refusal contract:
+
+  * fresh artifact stamped smoke_only: REFUSE (exit nonzero). Smoke
+    numbers prove wiring, not speed; gating on them would let a debug
+    single-core run overwrite the trajectory's meaning.
+  * baseline stamped smoke_only: PASS with a notice. The committed
+    trajectory predates the first honest recording; the first Release
+    multi-core run establishes the real baseline rather than being
+    compared against noise.
+  * a baseline row missing from the fresh artifact: FAIL. A benchmark
+    silently disappearing is how regressions hide; renames must update
+    the committed baseline in the same change.
+  * fresh rows absent from baseline are reported as notices (new
+    coverage) and not gated.
+
+Exit status: 0 = gate passed (or baseline was smoke-only), 1 = gate
+failed or inputs invalid. All failures are listed, not just the first.
+"""
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_to_json  # noqa: E402  (shared schema + validation)
+
+DEFAULT_MAX_REGRESSION_PCT = 5.0
+DEFAULT_MAX_P99_INFLATION_PCT = 25.0
+
+
+class CompareError(Exception):
+    """Inputs unusable for comparison (validation, smoke-only fresh)."""
+
+
+def _row_key(row: dict):
+    return (row["name"], row.get("aggregate"), row.get("threads"))
+
+
+def index_rows(doc: dict) -> dict:
+    """Map (name, threads) -> preferred row, median > mean > single-rep.
+
+    The aggregate participates in row identity, but the gate compares one
+    row per benchmark: medians when the artifact has them, otherwise the
+    single-repetition row.
+    """
+    preference = {"median": 0, "mean": 1, None: 2}
+    best = {}
+    for row in doc.get("benchmarks", []):
+        agg = row.get("aggregate")
+        if agg not in preference:
+            continue  # stddev and friends are context, not a comparand
+        key = (row["name"], row.get("threads"))
+        cur = best.get(key)
+        if cur is None or preference[agg] < preference[cur.get("aggregate")]:
+            best[key] = row
+    return best
+
+
+def load_artifact(path: str) -> dict:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise CompareError(f"{path}: {e}") from e
+    try:
+        bench_to_json.validate_artifact(doc, path)
+    except bench_to_json.BenchError as e:
+        raise CompareError(str(e)) from e
+    return doc
+
+
+def compare(baseline: dict, fresh: dict, max_regression_pct: float,
+            max_p99_inflation_pct: float):
+    """Returns (failures, notices); empty failures == gate passed."""
+    failures = []
+    notices = []
+    if fresh.get("smoke_only"):
+        raise CompareError(
+            "fresh artifact is stamped smoke_only — its numbers prove "
+            "wiring, not speed; refusing to run the perf gate on them")
+    if baseline.get("smoke_only"):
+        notices.append(
+            "baseline is stamped smoke_only (pre-trajectory wiring check); "
+            "nothing honest to compare against — fresh run establishes the "
+            "baseline")
+        return failures, notices
+
+    base_rows = index_rows(baseline)
+    fresh_rows = index_rows(fresh)
+
+    for key, base in sorted(base_rows.items()):
+        name, threads = key
+        label = f"{name} (threads={threads})"
+        new = fresh_rows.get(key)
+        if new is None:
+            failures.append(f"{label}: present in baseline but missing from "
+                            "fresh artifact (renamed or dropped?)")
+            continue
+        # Throughput gate.
+        b_ips = base.get("items_per_second")
+        n_ips = new.get("items_per_second")
+        if b_ips and n_ips:
+            delta_pct = (n_ips - b_ips) / b_ips * 100.0
+            if delta_pct < -max_regression_pct:
+                failures.append(
+                    f"{label}: throughput regressed {-delta_pct:.1f}% "
+                    f"({b_ips:.0f} -> {n_ips:.0f} items/s, limit "
+                    f"{max_regression_pct:.1f}%)")
+        else:
+            b_t = base.get("real_time_ns")
+            n_t = new.get("real_time_ns")
+            if b_t and n_t:
+                delta_pct = (n_t - b_t) / b_t * 100.0
+                if delta_pct > max_regression_pct:
+                    failures.append(
+                        f"{label}: real_time inflated {delta_pct:.1f}% "
+                        f"({b_t:.0f} -> {n_t:.0f} ns, limit "
+                        f"{max_regression_pct:.1f}%)")
+        # Tail-latency gate.
+        b_p99 = (base.get("counters") or {}).get("lat_p99_ns")
+        n_p99 = (new.get("counters") or {}).get("lat_p99_ns")
+        if b_p99 and n_p99:
+            infl_pct = (n_p99 - b_p99) / b_p99 * 100.0
+            if infl_pct > max_p99_inflation_pct:
+                failures.append(
+                    f"{label}: p99 latency inflated {infl_pct:.1f}% "
+                    f"({b_p99:.0f} -> {n_p99:.0f} ns, limit "
+                    f"{max_p99_inflation_pct:.1f}%)")
+
+    new_keys = set(fresh_rows) - set(base_rows)
+    for name, threads in sorted(new_keys):
+        notices.append(f"{name} (threads={threads}): new row, not gated")
+    return failures, notices
+
+
+# --- self-test --------------------------------------------------------------
+
+def _artifact(rows, smoke_only=False):
+    return {
+        "schema": bench_to_json.SCHEMA_VERSION,
+        "binary": "seed",
+        "smoke_only": smoke_only,
+        "date": "2026-08-05T00:00:00Z",
+        "context": {"num_cpus": 4, "mhz_per_cpu": 2100,
+                    "library_build_type": "release", "load_avg": [0.1],
+                    "build_type": "release", "compiler": "gcc 12.2.0",
+                    "cpu_affinity": "pthread_setaffinity_np",
+                    "git_sha": None},
+        "benchmarks": rows,
+    }
+
+
+def _row(name, threads, ips, p99=None, aggregate=None):
+    row = {"name": name, "threads": threads, "real_time_ns": 1e9 / ips,
+           "cpu_time_ns": 1e9 / ips, "iterations": 1000,
+           "items_per_second": ips}
+    if aggregate:
+        row["aggregate"] = aggregate
+    if p99 is not None:
+        row["counters"] = {"lat_p99_ns": p99}
+    return row
+
+
+def self_test() -> int:
+    failures = []
+
+    def check(label, got_failures, want_fail):
+        if bool(got_failures) != want_fail:
+            verdict = "failed" if got_failures else "passed"
+            failures.append(f"{label}: gate {verdict} unexpectedly: "
+                            f"{got_failures}")
+
+    base = _artifact([
+        _row("E2_SameEnd/x/real_time/threads:4", 4, 1_000_000.0, p99=4000.0),
+        _row("E2_SameEnd/y/real_time/threads:4", 4, 500_000.0, p99=8000.0),
+    ])
+
+    # Identical artifacts pass.
+    f, _ = compare(base, base, 5.0, 25.0)
+    check("identical", f, want_fail=False)
+
+    # A seeded 10% throughput regression must fail the 5% gate.
+    regressed = _artifact([
+        _row("E2_SameEnd/x/real_time/threads:4", 4, 900_000.0, p99=4000.0),
+        _row("E2_SameEnd/y/real_time/threads:4", 4, 500_000.0, p99=8000.0),
+    ])
+    f, _ = compare(base, regressed, 5.0, 25.0)
+    check("10% regression", f, want_fail=True)
+
+    # An improvement (and small jitter under threshold) passes.
+    improved = _artifact([
+        _row("E2_SameEnd/x/real_time/threads:4", 4, 1_300_000.0, p99=3000.0),
+        _row("E2_SameEnd/y/real_time/threads:4", 4, 490_000.0, p99=8100.0),
+    ])
+    f, _ = compare(base, improved, 5.0, 25.0)
+    check("improvement", f, want_fail=False)
+
+    # p99 inflation alone (throughput flat) must fail.
+    tail = _artifact([
+        _row("E2_SameEnd/x/real_time/threads:4", 4, 1_000_000.0, p99=6000.0),
+        _row("E2_SameEnd/y/real_time/threads:4", 4, 500_000.0, p99=8000.0),
+    ])
+    f, _ = compare(base, tail, 5.0, 25.0)
+    check("p99 inflation", f, want_fail=True)
+
+    # A baseline row missing from fresh must fail.
+    dropped = _artifact([
+        _row("E2_SameEnd/x/real_time/threads:4", 4, 1_000_000.0, p99=4000.0),
+    ])
+    f, _ = compare(base, dropped, 5.0, 25.0)
+    check("missing row", f, want_fail=True)
+
+    # Extra fresh rows are notices, not failures.
+    extra = _artifact(base["benchmarks"] + [
+        _row("E2_SameEnd/z/real_time/threads:8", 8, 100_000.0)])
+    f, notes = compare(base, extra, 5.0, 25.0)
+    check("extra row", f, want_fail=False)
+    if not any("new row" in n for n in notes):
+        failures.append(f"extra row produced no notice: {notes}")
+
+    # Median preferred over mean when both exist (the mean row carries a
+    # seeded regression that must NOT trip the gate).
+    agg_base = _artifact([
+        _row("E2/x/threads:2", 2, 1_000_000.0, aggregate="median"),
+        _row("E2/x/threads:2", 2, 1_000_000.0, aggregate="mean"),
+    ])
+    agg_fresh = _artifact([
+        _row("E2/x/threads:2", 2, 990_000.0, aggregate="median"),
+        _row("E2/x/threads:2", 2, 500_000.0, aggregate="mean"),
+    ])
+    f, _ = compare(agg_base, agg_fresh, 5.0, 25.0)
+    check("median preferred", f, want_fail=False)
+
+    # Smoke-only handling: fresh smoke refuses; baseline smoke passes
+    # with a notice and no row checks.
+    try:
+        compare(base, _artifact(base["benchmarks"], smoke_only=True),
+                5.0, 25.0)
+        failures.append("fresh smoke_only artifact was accepted")
+    except CompareError:
+        pass
+    f, notes = compare(_artifact([], smoke_only=True) | {"benchmarks": [
+        _row("gone/threads:2", 2, 1.0)]}, base, 5.0, 25.0)
+    check("smoke baseline", f, want_fail=False)
+    if not any("smoke_only" in n for n in notes):
+        failures.append(f"smoke baseline produced no notice: {notes}")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print("self-test OK (bench_compare gate semantics)")
+    return 0
+
+
+def main() -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("baseline", nargs="?",
+                   help="committed BENCH_*.json to gate against")
+    p.add_argument("fresh", nargs="?",
+                   help="freshly recorded artifact to check")
+    p.add_argument("--max-regression", type=float,
+                   default=DEFAULT_MAX_REGRESSION_PCT, metavar="PCT",
+                   help="max tolerated throughput drop per row "
+                        "(default %(default)s%%)")
+    p.add_argument("--max-p99-inflation", type=float,
+                   default=DEFAULT_MAX_P99_INFLATION_PCT, metavar="PCT",
+                   help="max tolerated lat_p99_ns growth per row "
+                        "(default %(default)s%%)")
+    p.add_argument("--self-test", action="store_true",
+                   help="exercise the gate against seeded artifacts")
+    args = p.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.fresh:
+        p.error("BASELINE and FRESH artifacts are required")
+    try:
+        baseline = load_artifact(args.baseline)
+        fresh = load_artifact(args.fresh)
+        failures, notices = compare(baseline, fresh, args.max_regression,
+                                    args.max_p99_inflation)
+    except CompareError as e:
+        print(f"bench_compare: error: {e}", file=sys.stderr)
+        return 1
+    for n in notices:
+        print(f"bench_compare: note: {n}")
+    if failures:
+        for f in failures:
+            print(f"bench_compare: FAIL: {f}", file=sys.stderr)
+        print(f"bench_compare: {len(failures)} gate failure(s) against "
+              f"{args.baseline}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK — {args.fresh} holds the line against "
+          f"{args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

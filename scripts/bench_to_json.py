@@ -4,23 +4,38 @@ diff-friendly artifact for the recorded perf trajectory (BENCH_*.json).
 
 Usage:
     scripts/bench_to_json.py BINARY -o BENCH_foo.json \
-        [--filter REGEX] [--min-time SECONDS] [--repetitions N] [--label TEXT]
+        [--filter REGEX] [--min-time SECONDS] [--repetitions N] \
+        [--label TEXT] [--smoke-only]
     scripts/bench_to_json.py --from-json raw.json -o BENCH_foo.json
 
-The first form runs BINARY with --benchmark_format=json (plus repetitions
-and random interleaving when requested) and distills stdout. The second
-form distills an existing --benchmark_out file instead of running anything.
+The first form runs BINARY with --benchmark_out (JSON) and distills the
+result. The second form distills an existing --benchmark_out file instead
+of running anything.
+
+Honesty contract (schema 2): an artifact is only trajectory-grade when it
+was measured on an optimized build with real parallelism. The distiller
+REFUSES to write anything when the benchmark context reports a debug
+build (either google-benchmark's own library_build_type or the binary's
+dcd_build_type, which records the NDEBUG state of the code under test) or
+fewer than two CPUs — unless --smoke-only is passed, which writes the
+artifact stamped "smoke_only": true so downstream tooling
+(scripts/bench_compare.py) knows the numbers prove wiring, not speed.
 
 Output schema (documented in EXPERIMENTS.md, "Recorded benchmark JSON"):
 
     {
-      "schema": 1,
+      "schema": 2,
       "binary": "bench_e11_allocation",
       "label": "optional free-text note",
-      "date": "2026-08-05T12:34:56",         # from benchmark's own context
+      "smoke_only": false,                   # true => not perf-comparable
+      "date": "2026-08-05T12:34:56Z",        # always UTC, always present
       "context": {
-        "num_cpus": 1, "mhz_per_cpu": 2100,
-        "library_build_type": "debug", "load_avg": [..]
+        "num_cpus": 4, "mhz_per_cpu": 2100,
+        "library_build_type": "release", "load_avg": [..],
+        "build_type": "release",             # dcd_build_type (NDEBUG)
+        "compiler": "gcc 12.2.0",            # dcd_compiler
+        "cpu_affinity": "pthread_setaffinity_np",  # dcd_affinity
+        "git_sha": "abc123..."               # null outside a git checkout
       },
       "benchmarks": [
         {
@@ -31,7 +46,7 @@ Output schema (documented in EXPERIMENTS.md, "Recorded benchmark JSON"):
           "cpu_time_ns": 1669.0,
           "iterations": 86720,
           "items_per_second": 618327.0,
-          "counters": {"magazine_hit/op": 0.4861, ...}
+          "counters": {"lat_p99_ns": 3904.0, "magazine_hit/op": 0.4861, ...}
         }, ...
       ]
     }
@@ -41,19 +56,25 @@ kept (the per-rep rows are noise we deliberately do not record); otherwise
 every row is kept. Counters are every user counter except items_per_second.
 
 Failure contract: any problem — binary missing or crashing, malformed or
-empty benchmark JSON, a row that reported error_occurred — exits nonzero
-with a one-line diagnostic and writes NO artifact (the output is written
-atomically via a temp file + rename, so a failed run can never leave a
-partial or empty BENCH_*.json behind for the trajectory to pick up).
-`--self-test` exercises these failure paths against seeded inputs.
+empty benchmark JSON, a row that reported error_occurred, a missing or
+unparseable context date, or a debug/single-CPU recording without
+--smoke-only — exits nonzero with a one-line diagnostic and writes NO
+artifact (the output is written atomically via a temp file + rename, so a
+failed run can never leave a partial or empty BENCH_*.json behind for the
+trajectory to pick up). `--self-test` exercises these failure paths
+against seeded inputs.
 """
 import argparse
+import datetime
 import json
 import os
 import re
 import subprocess
 import sys
 import tempfile
+
+
+SCHEMA_VERSION = 2
 
 
 class BenchError(Exception):
@@ -72,10 +93,69 @@ STANDARD_KEYS = {
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
+def normalize_date(raw_date) -> str:
+    """Normalize google-benchmark's context date to UTC ISO-8601 (Z suffix).
+
+    The library emits local time with a UTC offset ("...T22:16:12+00:00");
+    a naive timestamp (no offset) is treated as already-UTC, which is the
+    only deterministic reading. Missing or unparseable dates are an error:
+    an artifact without a trustworthy timestamp cannot anchor a trajectory.
+    """
+    if not isinstance(raw_date, str) or not raw_date.strip():
+        raise BenchError("context.date is missing — refusing to record an "
+                         "artifact without a timestamp")
+    try:
+        dt = datetime.datetime.fromisoformat(raw_date.strip())
+    except ValueError as e:
+        raise BenchError(f"context.date {raw_date!r} is not ISO-8601: {e}") \
+            from e
+    if dt.tzinfo is None:
+        dt = dt.replace(tzinfo=datetime.timezone.utc)
+    dt = dt.astimezone(datetime.timezone.utc)
+    return dt.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def honesty_violations(ctx: dict) -> list:
+    """Reasons this run's numbers are not trajectory-grade (empty if honest).
+
+    dcd_build_type is the authoritative build-type signal: it records the
+    NDEBUG state of the code under test, registered by bench_common.hpp via
+    AddCustomContext. library_build_type only describes how libbenchmark
+    itself was compiled, but a debug value there still taints timing (the
+    measurement loop's overhead is unoptimized), so either one refuses.
+    """
+    reasons = []
+    lbt = ctx.get("library_build_type")
+    if isinstance(lbt, str) and "debug" in lbt.lower():
+        reasons.append(f"library_build_type is {lbt!r}")
+    dbt = ctx.get("dcd_build_type")
+    if dbt is not None and dbt != "release":
+        reasons.append(f"dcd_build_type is {dbt!r} (code under test "
+                       "compiled without NDEBUG)")
+    ncpu = ctx.get("num_cpus")
+    if not isinstance(ncpu, int) or ncpu < 2:
+        reasons.append(f"num_cpus is {ncpu!r} (contention sweeps need real "
+                       "parallelism)")
+    return reasons
+
+
+def git_head_sha() -> "str | None":
+    """Best effort: the checkout's HEAD SHA, or None outside a repo."""
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        proc = subprocess.run(["git", "-C", repo, "rev-parse", "HEAD"],
+                              capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and re.fullmatch(r"[0-9a-f]{40}", sha) \
+        else None
+
+
 def run_binary(args: argparse.Namespace) -> dict:
-    # The binaries print informational lines (topology banner) to stdout,
-    # which would corrupt --benchmark_format=json; have the library write
-    # its JSON to a file instead.
+    # The binaries print informational lines (topology banner) to stderr,
+    # but other harness noise could still reach stdout; have the library
+    # write its JSON to a file so the report channel is unshared.
     with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
         cmd = [
             args.binary,
@@ -110,14 +190,24 @@ def run_binary(args: argparse.Namespace) -> dict:
                 f"{args.binary} wrote malformed benchmark JSON: {e}") from e
 
 
-def distill(raw: dict, binary: str, label: str) -> dict:
+def distill(raw: dict, binary: str, label: str, smoke_only: bool = False,
+            git_sha: "str | None" = None) -> dict:
     if not isinstance(raw, dict):
         raise BenchError(f"{binary}: benchmark output is not a JSON object")
     ctx = raw.get("context", {})
+    if not isinstance(ctx, dict):
+        raise BenchError(f"{binary}: context is not a JSON object")
     rows = raw.get("benchmarks", [])
     if not rows:
         raise BenchError(f"{binary}: no benchmark rows in output (filter "
                          "matched nothing, or the run was cut short)")
+    violations = honesty_violations(ctx)
+    if violations and not smoke_only:
+        detail = "; ".join(violations)
+        raise BenchError(
+            f"{binary}: refusing to record a perf artifact: {detail}. "
+            "Re-run on a Release build with >=2 CPUs, or pass --smoke-only "
+            "to record a wiring-check artifact that the trajectory ignores.")
     has_aggregates = any(r.get("run_type") == "aggregate" for r in rows)
     kept = []
     for r in rows:
@@ -157,14 +247,19 @@ def distill(raw: dict, binary: str, label: str) -> dict:
         raise BenchError(f"{binary}: every row was filtered out during "
                          "distillation — refusing to write an empty artifact")
     doc = {
-        "schema": 1,
+        "schema": SCHEMA_VERSION,
         "binary": binary,
-        "date": ctx.get("date", ""),
+        "smoke_only": bool(smoke_only),
+        "date": normalize_date(ctx.get("date")),
         "context": {
             "num_cpus": ctx.get("num_cpus"),
             "mhz_per_cpu": ctx.get("mhz_per_cpu"),
             "library_build_type": ctx.get("library_build_type"),
             "load_avg": ctx.get("load_avg"),
+            "build_type": ctx.get("dcd_build_type"),
+            "compiler": ctx.get("dcd_compiler"),
+            "cpu_affinity": ctx.get("dcd_affinity"),
+            "git_sha": git_sha,
         },
         "benchmarks": kept,
     }
@@ -173,10 +268,48 @@ def distill(raw: dict, binary: str, label: str) -> dict:
     return doc
 
 
+def validate_artifact(doc, path: str) -> None:
+    """Schema-2 shape check for a committed BENCH_*.json (drift gate)."""
+    def fail(msg):
+        raise BenchError(f"{path}: {msg}")
+
+    if not isinstance(doc, dict):
+        fail("artifact is not a JSON object")
+    if doc.get("schema") != SCHEMA_VERSION:
+        fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA_VERSION}")
+    if not isinstance(doc.get("smoke_only"), bool):
+        fail("smoke_only must be a boolean")
+    date = doc.get("date")
+    if not isinstance(date, str) or \
+            not re.fullmatch(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", date):
+        fail(f"date {date!r} is not UTC ISO-8601 (YYYY-MM-DDTHH:MM:SSZ)")
+    ctx = doc.get("context")
+    if not isinstance(ctx, dict):
+        fail("context missing")
+    for key in ("num_cpus", "library_build_type", "build_type", "compiler",
+                "cpu_affinity", "git_sha"):
+        if key not in ctx:
+            fail(f"context.{key} missing")
+    rows = doc.get("benchmarks")
+    if not isinstance(rows, list) or not rows:
+        fail("benchmarks missing or empty")
+    for r in rows:
+        for key in ("name", "threads", "real_time_ns", "cpu_time_ns",
+                    "iterations"):
+            if key not in r:
+                fail(f"row {r.get('name', '?')!r} missing {key}")
+    if not doc["smoke_only"] and honesty_violations(
+            {**ctx, "dcd_build_type": ctx.get("build_type")}):
+        fail("claims trajectory-grade (smoke_only: false) but its context "
+             "fails the honesty checks")
+
+
 GOOD_RAW = {
-    "context": {"date": "2026-08-05T00:00:00", "num_cpus": 4,
+    "context": {"date": "2026-08-05T00:00:00+00:00", "num_cpus": 4,
                 "mhz_per_cpu": 2100, "library_build_type": "release",
-                "load_avg": [0.1]},
+                "load_avg": [0.1], "dcd_build_type": "release",
+                "dcd_compiler": "gcc 12.2.0",
+                "dcd_affinity": "pthread_setaffinity_np"},
     "benchmarks": [
         {"name": "E1/x/threads:2", "run_name": "E1/x/threads:2",
          "run_type": "iteration", "threads": 2, "iterations": 100,
@@ -186,45 +319,118 @@ GOOD_RAW = {
 }
 
 
+def _with_context(raw: dict, **ctx_overrides) -> dict:
+    doc = json.loads(json.dumps(raw))
+    doc["context"].update(ctx_overrides)
+    return doc
+
+
 def self_test() -> int:
     failures = []
 
-    def expect_error(label, raw):
+    def expect_error(label, raw, smoke_only=False):
         try:
-            distill(raw, "seed", "")
+            distill(raw, "seed", "", smoke_only=smoke_only)
             failures.append(f"{label}: accepted")
         except BenchError:
             pass
 
-    # Good path: distills one row, converts us -> ns, keeps the counter.
-    doc = distill(GOOD_RAW, "seed", "note")
+    # Good path: distills one row, converts us -> ns, keeps the counter,
+    # stamps schema 2 / smoke_only false / normalized date / context keys.
+    doc = distill(GOOD_RAW, "seed", "note", git_sha="a" * 40)
     row = doc["benchmarks"][0]
     if (len(doc["benchmarks"]) != 1 or row["real_time_ns"] != 1500.0
             or row["counters"].get("magazine_hit/op") != 0.5
             or doc["label"] != "note"):
         failures.append(f"good-path distillation wrong: {doc}")
+    if doc["schema"] != SCHEMA_VERSION or doc["smoke_only"] is not False:
+        failures.append(f"schema stamp wrong: {doc}")
+    if doc["date"] != "2026-08-05T00:00:00Z":
+        failures.append(f"date not normalized to UTC Z: {doc['date']}")
+    if (doc["context"]["build_type"] != "release"
+            or doc["context"]["compiler"] != "gcc 12.2.0"
+            or doc["context"]["cpu_affinity"] != "pthread_setaffinity_np"
+            or doc["context"]["git_sha"] != "a" * 40):
+        failures.append(f"context keys wrong: {doc['context']}")
+    try:
+        validate_artifact(doc, "seed")
+    except BenchError as e:
+        failures.append(f"good artifact failed validation: {e}")
 
-    expect_error("no rows", {"context": {}, "benchmarks": []})
+    # Honesty refusals: debug library, debug code-under-test, too few CPUs.
+    expect_error("debug library_build_type",
+                 _with_context(GOOD_RAW, library_build_type="debug"))
+    expect_error("debug dcd_build_type",
+                 _with_context(GOOD_RAW, dcd_build_type="debug"))
+    expect_error("single cpu", _with_context(GOOD_RAW, num_cpus=1))
+    expect_error("missing num_cpus", _with_context(GOOD_RAW, num_cpus=None))
+
+    # --smoke-only overrides the refusal but brands the artifact.
+    smoke = distill(_with_context(GOOD_RAW, library_build_type="debug",
+                                  dcd_build_type="debug", num_cpus=1),
+                    "seed", "", smoke_only=True)
+    if smoke["smoke_only"] is not True:
+        failures.append("smoke-only artifact not stamped smoke_only: true")
+    try:
+        validate_artifact(smoke, "seed")
+    except BenchError as e:
+        failures.append(f"smoke artifact failed validation: {e}")
+
+    # A doc that claims trajectory-grade but has a tainted context must not
+    # validate (guards hand-edited artifacts).
+    dishonest = json.loads(json.dumps(smoke))
+    dishonest["smoke_only"] = False
+    try:
+        validate_artifact(dishonest, "seed")
+        failures.append("validate accepted a dishonest smoke artifact")
+    except BenchError:
+        pass
+
+    # Date handling: offsets normalize to UTC, naive is read as UTC,
+    # missing/garbage refuse.
+    off = distill(_with_context(GOOD_RAW, date="2026-08-05T02:00:00+02:00"),
+                  "seed", "")
+    if off["date"] != "2026-08-05T00:00:00Z":
+        failures.append(f"offset date not normalized: {off['date']}")
+    naive = distill(_with_context(GOOD_RAW, date="2026-08-05T00:00:00"),
+                    "seed", "")
+    if naive["date"] != "2026-08-05T00:00:00Z":
+        failures.append(f"naive date not treated as UTC: {naive['date']}")
+    expect_error("missing date", _with_context(GOOD_RAW, date=None))
+    expect_error("empty date", _with_context(GOOD_RAW, date="  "))
+    expect_error("garbage date", _with_context(GOOD_RAW, date="yesterday"))
+
+    expect_error("no rows", {"context": GOOD_RAW["context"], "benchmarks": []})
     expect_error("not an object", ["nope"])
-    expect_error("error row", {"benchmarks": [
+    expect_error("error row", {"context": GOOD_RAW["context"], "benchmarks": [
         {"name": "E1", "error_occurred": True, "error_message": "boom"}]})
-    expect_error("missing real_time", {"benchmarks": [
-        {"name": "E1", "iterations": 1, "cpu_time": 1.0}]})
-    expect_error("all rows filtered", {"benchmarks": [
-        {"name": "E1/cv", "run_type": "aggregate", "aggregate_name": "cv",
-         "real_time": 1.0, "cpu_time": 1.0, "iterations": 1}]})
+    expect_error("missing real_time",
+                 {"context": GOOD_RAW["context"], "benchmarks": [
+                     {"name": "E1", "iterations": 1, "cpu_time": 1.0}]})
+    expect_error("all rows filtered",
+                 {"context": GOOD_RAW["context"], "benchmarks": [
+                     {"name": "E1/cv", "run_type": "aggregate",
+                      "aggregate_name": "cv", "real_time": 1.0,
+                      "cpu_time": 1.0, "iterations": 1}]})
 
-    # End-to-end failure paths through the CLI: a missing binary and a
-    # malformed --from-json file must exit 1 and write no artifact.
+    # End-to-end failure paths through the CLI: a missing binary, a
+    # malformed --from-json file, and a debug recording without
+    # --smoke-only must exit 1 and write no artifact; the same debug
+    # recording WITH --smoke-only must succeed and stamp the artifact.
     me = os.path.abspath(__file__)
     with tempfile.TemporaryDirectory() as d:
         out = os.path.join(d, "BENCH_x.json")
         bad = os.path.join(d, "bad.json")
         with open(bad, "w") as f:
             f.write("{ not json")
+        debug_raw = os.path.join(d, "debug_raw.json")
+        with open(debug_raw, "w") as f:
+            json.dump(_with_context(GOOD_RAW, library_build_type="debug",
+                                    num_cpus=1), f)
         for label, argv in [
             ("missing binary", [os.path.join(d, "no_such_bench"), "-o", out]),
             ("malformed --from-json", ["--from-json", bad, "-o", out]),
+            ("debug recording", ["--from-json", debug_raw, "-o", out]),
         ]:
             proc = subprocess.run([sys.executable, me, *argv],
                                   capture_output=True, text=True)
@@ -232,12 +438,26 @@ def self_test() -> int:
                 failures.append(f"{label}: exited 0")
             if os.path.exists(out):
                 failures.append(f"{label}: left an artifact behind")
+        proc = subprocess.run(
+            [sys.executable, me, "--from-json", debug_raw, "-o", out,
+             "--smoke-only"], capture_output=True, text=True)
+        if proc.returncode != 0:
+            failures.append(
+                f"--smoke-only CLI run failed: {proc.stderr.strip()}")
+        elif not os.path.exists(out):
+            failures.append("--smoke-only CLI run wrote no artifact")
+        else:
+            with open(out) as f:
+                written = json.load(f)
+            if written.get("smoke_only") is not True or \
+                    written.get("schema") != SCHEMA_VERSION:
+                failures.append(f"--smoke-only artifact wrong: {written}")
 
     if failures:
         for f in failures:
             print(f"self-test FAIL: {f}", file=sys.stderr)
         return 1
-    print("self-test OK (bench_to_json failure paths)")
+    print("self-test OK (bench_to_json schema-2 honesty + failure paths)")
     return 0
 
 
@@ -250,11 +470,33 @@ def main() -> int:
     p.add_argument("--min-time", type=float, help="--benchmark_min_time")
     p.add_argument("--repetitions", type=int, default=0)
     p.add_argument("--label", default="", help="free-text note for the doc")
+    p.add_argument("--smoke-only", action="store_true",
+                   help="record a wiring-check artifact even from a debug "
+                        "or single-CPU run; stamps smoke_only: true")
+    p.add_argument("--validate", metavar="BENCH_JSON", action="append",
+                   default=[],
+                   help="validate committed artifact(s) against schema 2 "
+                        "instead of recording anything")
     p.add_argument("--self-test", action="store_true",
                    help="exercise the failure paths against seeded inputs")
     args = p.parse_args()
     if args.self_test:
         return self_test()
+    if args.validate:
+        try:
+            for path in args.validate:
+                try:
+                    with open(path) as f:
+                        doc = json.load(f)
+                except (OSError, json.JSONDecodeError) as e:
+                    raise BenchError(f"{path}: {e}") from e
+                validate_artifact(doc, path)
+        except BenchError as e:
+            print(f"bench_to_json: error: {e}", file=sys.stderr)
+            return 1
+        print(f"{len(args.validate)} artifact(s) conform to schema "
+              f"{SCHEMA_VERSION}")
+        return 0
     if args.output is None:
         p.error("-o/--output is required")
     if bool(args.binary) == bool(args.from_json):
@@ -275,7 +517,8 @@ def main() -> int:
             raw = run_binary(args)
             name = args.binary
         name = re.sub(r".*/", "", name)
-        doc = distill(raw, name, args.label)
+        doc = distill(raw, name, args.label, smoke_only=args.smoke_only,
+                      git_sha=git_head_sha())
     except BenchError as e:
         print(f"bench_to_json: error: {e}", file=sys.stderr)
         return 1
@@ -285,7 +528,9 @@ def main() -> int:
         json.dump(doc, f, indent=1)
         f.write("\n")
     os.replace(tmp_path, args.output)
-    print(f"{args.output}: {len(doc['benchmarks'])} rows from {name}")
+    kind = "smoke-only" if doc["smoke_only"] else "trajectory-grade"
+    print(f"{args.output}: {len(doc['benchmarks'])} rows from {name} "
+          f"({kind})")
     return 0
 
 

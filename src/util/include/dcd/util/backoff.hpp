@@ -43,6 +43,7 @@ class Backoff {
       }
       current_ = next_budget(current_);
     } else {
+      ++yields_;
       std::this_thread::yield();
     }
   }
@@ -50,6 +51,7 @@ class Backoff {
   void reset() noexcept {
     current_ = 1;
     pauses_ = 0;
+    yields_ = 0;
   }
 
   // Exact number of pause() calls since construction/reset — spin and
@@ -57,6 +59,13 @@ class Backoff {
   // earlier version derived this as log2 of the spin budget, which froze
   // once escalation to yield() stopped the budget from doubling.)
   std::uint64_t pauses() const noexcept { return pauses_; }
+
+  // Exact number of pause() calls that escalated to sched_yield. The spin
+  // budget itself is useless as an escalation metric: it stops doubling at
+  // the spin limit, so "how hard did we back off" derived from it silently
+  // caps the moment the interesting regime begins. Benches report this
+  // count directly (yields/op) instead.
+  std::uint64_t yields() const noexcept { return yields_; }
 
   // Next spin budget: doubles, saturating instead of wrapping. Without the
   // saturation a spin_limit >= 2^31 let `current_ * 2` wrap a uint32_t to
@@ -74,6 +83,7 @@ class Backoff {
   std::uint32_t spin_limit_;
   std::uint32_t current_ = 1;
   std::uint64_t pauses_ = 0;
+  std::uint64_t yields_ = 0;
 };
 
 // Persistent per-thread adaptive backoff.
@@ -106,6 +116,7 @@ class AdaptiveBackoff {
       }
       current_ = Backoff::next_budget(current_);
     } else {
+      ++yields_;
       std::this_thread::yield();
     }
   }
@@ -119,9 +130,13 @@ class AdaptiveBackoff {
 
   std::uint32_t spin_budget() const noexcept { return current_; }
   std::uint64_t pauses() const noexcept { return pauses_; }
+  // Exact count of failures that escalated to sched_yield (see
+  // Backoff::yields() for why the spin budget cannot stand in for this).
+  std::uint64_t yields() const noexcept { return yields_; }
   void reset() noexcept {
     current_ = 1;
     pauses_ = 0;
+    yields_ = 0;
   }
 
   // Drop-in replacement for a `util::Backoff backoff;` local in a retry
@@ -145,6 +160,7 @@ class AdaptiveBackoff {
   std::uint32_t spin_limit_ = kDefaultSpinLimit;
   std::uint32_t current_ = 1;
   std::uint64_t pauses_ = 0;
+  std::uint64_t yields_ = 0;
 };
 
 }  // namespace dcd::util

@@ -55,4 +55,40 @@ class Log2Histogram {
   std::uint64_t total_ = 0;
 };
 
+// Per-op latency histogram with enough resolution for a regression gate.
+//
+// Log2Histogram's power-of-two buckets quantise a p99 to within 2x — too
+// coarse to compare across runs. This variant splits every octave into 16
+// linear sub-buckets (values below 16 are exact), bounding the relative
+// error of any reported percentile to ~1/16 while staying a fixed-size
+// array of counters: single-writer record() is one increment, merge() is a
+// vector add, so per-thread instances can be combined after a run with no
+// synchronisation on the hot path.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;                       // 16 sub-buckets
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kBuckets = (64 - kSubBits + 1) * kSub;
+
+  void record(std::uint64_t ns) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+  void reset() noexcept;
+
+  std::uint64_t total() const noexcept { return total_; }
+
+  // Value at quantile q (0 < q <= 1): the representative (midpoint) of the
+  // bucket holding the ceil(q * total)-th smallest sample; 0 when empty.
+  std::uint64_t percentile(double q) const noexcept;
+
+  // Bucket mapping, exposed so the quantisation error is unit-testable
+  // without recording 2^40 samples: for any v,
+  //   bucket_representative(bucket_index(v)) is within v/16 of v.
+  static int bucket_index(std::uint64_t v) noexcept;
+  static std::uint64_t bucket_representative(int index) noexcept;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
 }  // namespace dcd::util

@@ -21,4 +21,17 @@ struct Topology {
 
 Topology probe_topology();
 
+// Best-effort pinning of the calling thread to hardware CPU
+// `slot % hardware_threads`. Returns true when the affinity call exists on
+// this platform AND succeeded; false otherwise (the caller keeps running
+// unpinned — benches record the outcome instead of failing). Pinning is
+// what makes a contention sweep honest on a multi-core host: without it
+// the scheduler migrates the threads mid-run and the per-thread-count
+// rows measure placement luck, not the algorithm.
+bool pin_current_thread(std::size_t slot) noexcept;
+
+// The mechanism pin_current_thread compiles down to, for recording in the
+// benchmark context: "pthread_setaffinity_np" or "unsupported".
+const char* affinity_mechanism() noexcept;
+
 }  // namespace dcd::util

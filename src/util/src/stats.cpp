@@ -66,6 +66,56 @@ std::uint64_t Log2Histogram::quantile(double q) const noexcept {
   return ~0ull;
 }
 
+int LatencyHistogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < kSub) return static_cast<int>(v);  // exact region
+  const int top = std::bit_width(v) - 1;     // >= kSubBits
+  const int shift = top - kSubBits;
+  const int sub = static_cast<int>((v >> shift) & (kSub - 1));
+  return (top - kSubBits + 1) * kSub + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_representative(int index) noexcept {
+  if (index < kSub) return static_cast<std::uint64_t>(index);
+  const int block = index / kSub;            // >= 1
+  const int sub = index % kSub;
+  const int top = block + kSubBits - 1;
+  const int shift = top - kSubBits;
+  const std::uint64_t lower =
+      (static_cast<std::uint64_t>(kSub + sub)) << shift;
+  const std::uint64_t width = std::uint64_t{1} << shift;
+  return lower + width / 2;
+}
+
+void LatencyHistogram::record(std::uint64_t ns) noexcept {
+  ++buckets_[bucket_index(ns)];
+  ++total_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& b : buckets_) b = 0;
+  total_ = 0;
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  if (q <= 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return bucket_representative(i);
+  }
+  return bucket_representative(kBuckets - 1);
+}
+
 std::string Log2Histogram::to_string() const {
   std::string out;
   char line[96];

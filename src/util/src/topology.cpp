@@ -2,6 +2,17 @@
 
 #include <thread>
 
+// glibc's pthread_setaffinity_np needs _GNU_SOURCE, which libstdc++
+// defines unconditionally on Linux; gate on the platform + the macro so a
+// non-GNU libc simply reports "unsupported" instead of failing to build.
+#if defined(__linux__) && defined(_GNU_SOURCE)
+#define DCD_HAVE_PTHREAD_AFFINITY 1
+#include <pthread.h>
+#include <sched.h>
+#else
+#define DCD_HAVE_PTHREAD_AFFINITY 0
+#endif
+
 namespace dcd::util {
 
 Topology probe_topology() {
@@ -19,6 +30,27 @@ std::string Topology::describe() const {
          "numbers measure algorithmic overhead, not parallel speedup)";
   }
   return s;
+}
+
+bool pin_current_thread(std::size_t slot) noexcept {
+#if DCD_HAVE_PTHREAD_AFFINITY
+  const std::size_t ncpu = probe_topology().hardware_threads;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(slot % ncpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)slot;
+  return false;
+#endif
+}
+
+const char* affinity_mechanism() noexcept {
+#if DCD_HAVE_PTHREAD_AFFINITY
+  return "pthread_setaffinity_np";
+#else
+  return "unsupported";
+#endif
 }
 
 }  // namespace dcd::util

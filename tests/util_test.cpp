@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -66,9 +69,34 @@ TEST(Backoff, ResetZeroesCountAndBudget) {
   for (int i = 0; i < 10; ++i) b.pause();
   b.reset();
   EXPECT_EQ(b.pauses(), 0u);
+  EXPECT_EQ(b.yields(), 0u);
   EXPECT_EQ(b.spin_budget(), 1u);
   b.pause();
   EXPECT_EQ(b.pauses(), 1u);
+}
+
+TEST(Backoff, YieldsCountsEscalationsExactly) {
+  // The escalation metric must be an actual event count, not something
+  // derived from the spin budget: the budget stops doubling once it passes
+  // the limit, so a budget-derived "pressure" silently caps right where
+  // the yield regime — the regime worth measuring — begins.
+  Backoff b(16);
+  // Budgets 1,2,4,8,16 are spin-regime pauses; none of them yields.
+  for (int i = 0; i < 5; ++i) b.pause();
+  EXPECT_EQ(b.pauses(), 5u);
+  EXPECT_EQ(b.yields(), 0u);
+  const std::uint32_t saturated = b.spin_budget();
+  EXPECT_GT(saturated, 16u);
+  // Every further pause is a yield, and the count keeps advancing even
+  // though the budget is frozen.
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    b.pause();
+    EXPECT_EQ(b.yields(), i);
+    EXPECT_EQ(b.spin_budget(), saturated);
+  }
+  EXPECT_EQ(b.pauses(), 45u);
+  b.reset();
+  EXPECT_EQ(b.yields(), 0u);
 }
 
 TEST(Backoff, BudgetDoublingSaturatesInsteadOfWrapping) {
@@ -109,6 +137,30 @@ TEST(AdaptiveBackoff, YieldRegimeClampsBeforeDecaying) {
   // next contended phase spins instead of yielding forever.
   b.on_success();
   EXPECT_LE(b.spin_budget(), AdaptiveBackoff::kDefaultSpinLimit / 2);
+}
+
+TEST(AdaptiveBackoff, YieldsCountOnlyEscalatedFailures) {
+  AdaptiveBackoff b;
+  b.reset();
+  // Ride the budget up to the yield regime: 1,2,...,1024 are spin-regime
+  // failures (11 of them), the 12th onwards escalates.
+  int spins = 0;
+  while (b.spin_budget() <= AdaptiveBackoff::kDefaultSpinLimit) {
+    b.on_failure();
+    ++spins;
+  }
+  EXPECT_EQ(b.yields(), 0u);
+  b.on_failure();
+  b.on_failure();
+  EXPECT_EQ(b.yields(), 2u);
+  EXPECT_EQ(b.pauses(), static_cast<std::uint64_t>(spins) + 2u);
+  // Success decays back under the limit; the escalation history survives
+  // as a counter (it is telemetry, not state).
+  b.on_success();
+  b.on_failure();
+  EXPECT_EQ(b.yields(), 2u);
+  b.reset();
+  EXPECT_EQ(b.yields(), 0u);
 }
 
 TEST(AdaptiveBackoff, SessionsShareTheThreadsPersistentState) {
@@ -255,6 +307,104 @@ TEST(Stats, HistogramMerge) {
   b.add(500);
   a.merge(b);
   EXPECT_EQ(a.total(), 2u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSub; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(v), static_cast<int>(v));
+    EXPECT_EQ(LatencyHistogram::bucket_representative(
+                  LatencyHistogram::bucket_index(v)),
+              v);
+  }
+}
+
+TEST(LatencyHistogram, RepresentativeWithinSixPercentOfSample) {
+  // The sub-bucketed mapping bounds quantisation error to one sub-bucket
+  // width (1/16 of the octave base), so representatives track samples to
+  // ~6% — tight enough that a 25% p99-inflation gate cannot be tripped or
+  // masked by bucketing alone.
+  for (std::uint64_t v : {17ull, 100ull, 999ull, 1500ull, 123456ull,
+                          987654321ull, (1ull << 40) + 12345ull,
+                          (1ull << 62) + (1ull << 55)}) {
+    const int idx = LatencyHistogram::bucket_index(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    const std::uint64_t rep = LatencyHistogram::bucket_representative(idx);
+    const double err =
+        std::abs(static_cast<double>(rep) - static_cast<double>(v)) /
+        static_cast<double>(v);
+    EXPECT_LT(err, 1.0 / LatencyHistogram::kSub) << "v=" << v;
+  }
+}
+
+TEST(LatencyHistogram, BucketIndexIsMonotone) {
+  int prev = -1;
+  for (std::uint64_t v = 0; v < 5000; ++v) {
+    const int idx = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesOfKnownDistribution) {
+  // 1000 samples: 990 at ~100ns, 9 at ~1000ns, 1 at ~100000ns. p50 must
+  // sit in the 100ns bucket, p99 at 100ns (rank 990 is still a 100),
+  // p99.9 in the 1000ns bucket, p100 in the 100000ns bucket.
+  LatencyHistogram h;
+  for (int i = 0; i < 990; ++i) h.record(100);
+  for (int i = 0; i < 9; ++i) h.record(1000);
+  h.record(100000);
+  EXPECT_EQ(h.total(), 1000u);
+  const auto near = [](std::uint64_t got, std::uint64_t want) {
+    const double err = std::abs(static_cast<double>(got) -
+                                static_cast<double>(want)) /
+                       static_cast<double>(want);
+    return err < 1.0 / LatencyHistogram::kSub;
+  };
+  EXPECT_TRUE(near(h.percentile(0.50), 100)) << h.percentile(0.50);
+  EXPECT_TRUE(near(h.percentile(0.99), 100)) << h.percentile(0.99);
+  EXPECT_TRUE(near(h.percentile(0.999), 1000)) << h.percentile(0.999);
+  EXPECT_TRUE(near(h.percentile(1.0), 100000)) << h.percentile(1.0);
+  EXPECT_EQ(LatencyHistogram().percentile(0.5), 0u);  // empty -> 0
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedStreamAndResetClears) {
+  LatencyHistogram a, b, all;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.below(100000);
+    (i % 2 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.percentile(q), all.percentile(q)) << q;
+  }
+  a.reset();
+  EXPECT_EQ(a.total(), 0u);
+  EXPECT_EQ(a.percentile(0.99), 0u);
+}
+
+TEST(Topology, PinCurrentThreadIsBestEffort) {
+  // On Linux the mechanism must be compiled in and pinning to slot 0 (any
+  // host has a CPU 0) must succeed; elsewhere it reports unsupported
+  // rather than failing the build. Slots wrap modulo hardware_threads, so
+  // an out-of-range slot is also a valid request.
+  const std::string mech = affinity_mechanism();
+  EXPECT_FALSE(mech.empty());
+#if defined(__linux__) && defined(_GNU_SOURCE)
+  EXPECT_EQ(mech, "pthread_setaffinity_np");
+  std::thread t([] {
+    EXPECT_TRUE(pin_current_thread(0));
+    EXPECT_TRUE(pin_current_thread(probe_topology().hardware_threads + 3));
+  });
+  t.join();
+#else
+  EXPECT_EQ(mech, "unsupported");
+  EXPECT_FALSE(pin_current_thread(0));
+#endif
 }
 
 TEST(Stopwatch, MeasuresElapsedTime) {
