@@ -60,6 +60,7 @@ reclaim::TaggedNodePool& rdcss_desc_pool() {
   return *pool;
 }
 
+// DCD_REQUIRES_GUARD(descriptor is handed out raw; the pinned entry point's guard covers it until retire)
 McasDesc* alloc_mcas_desc() {
   ++Telemetry::tl().descriptors;
   if (void* raw = mcas_desc_pool().allocate()) {
@@ -72,6 +73,7 @@ McasDesc* alloc_mcas_desc() {
   return d;
 }
 
+// DCD_REQUIRES_GUARD(descriptor is handed out raw; the pinned entry point's guard covers it until retire)
 RdcssDesc* alloc_rdcss_desc(std::atomic<std::uint64_t>* cond, Word* data,
                             std::uint64_t oldv, std::uint64_t newv) {
   ++Telemetry::tl().descriptors;
@@ -82,6 +84,7 @@ RdcssDesc* alloc_rdcss_desc(std::atomic<std::uint64_t>* cond, Word* data,
   return new RdcssDesc{cond, data, oldv, newv, false};
 }
 
+// DCD_GUARD_EXEMPT(post-grace EBR callback; the descriptor is exclusively owned here)
 void dispose_mcas_desc(void* p, void*) {
   auto* d = static_cast<McasDesc*>(p);
   if (d->pooled) {
@@ -92,6 +95,7 @@ void dispose_mcas_desc(void* p, void*) {
   }
 }
 
+// DCD_GUARD_EXEMPT(post-grace EBR callback; the descriptor is exclusively owned here)
 void dispose_rdcss_desc(void* p, void*) {
   auto* d = static_cast<RdcssDesc*>(p);
   if (d->pooled) {
@@ -117,6 +121,7 @@ McasDesc* mcas_of(std::uint64_t v) {
 
 // Finishes an installed RDCSS: replace the sub-descriptor mark with either
 // the MCAS mark (condition still UNDECIDED) or the original value.
+// DCD_REQUIRES_GUARD(caller is pinned in the global EBR domain by the load/dcas/casn entry guard)
 void rdcss_complete(RdcssDesc* d) {
   const std::uint64_t cond = d->cond->load(std::memory_order_acquire);
   std::uint64_t expected = mark(d);
@@ -131,6 +136,7 @@ void rdcss_complete(RdcssDesc* d) {
 // The RDCSS operation itself. Returns the value logically read from *data:
 // d->oldv on success, otherwise the conflicting content (a clean value or
 // an mcas-marked word; rdcss marks are resolved internally).
+// DCD_REQUIRES_GUARD(caller is pinned in the global EBR domain by the load/dcas/casn entry guard)
 std::uint64_t rdcss(RdcssDesc* d) {
   // DCD_PROGRESS(CAS failure means another thread's install or help committed; conflicting rdcss marks are resolved before retrying)
   for (;;) {
@@ -153,6 +159,7 @@ std::uint64_t rdcss(RdcssDesc* d) {
 
 // Runs an MCAS to completion (owner and helpers execute the same code).
 // Caller must be pinned in the global EBR domain.
+// DCD_REQUIRES_GUARD(caller is pinned in the global EBR domain by the dcas/casn entry guard)
 bool mcas_help(McasDesc* d) {
   if (d->status.load(std::memory_order_acquire) == kUndecided) {
     // Phase 1: install the descriptor in both words (ascending address

@@ -88,6 +88,7 @@ class ListDeque {
     Dcas::store_init(sr_.right, 0);
   }
 
+  // DCD_GUARD_EXEMPT(single-threaded teardown; no concurrent frees exist)
   ~ListDeque() {
     // Single-threaded teardown: return every non-sentinel node still in the
     // chain to the pool, then let the reclaimer's destructor force-drain
@@ -261,6 +262,7 @@ class ListDeque {
 
   // Values currently reachable left→right, skipping logically-deleted
   // nodes. Exact only while no operation is in flight.
+  // DCD_GUARD_EXEMPT(quiescent test-only walk; no concurrent frees by contract)
   std::size_t size_unsynchronized() const {
     std::size_t count = 0;
     const Node* n = dcas::pointer_of<Node>(sl_.right.raw.load(std::memory_order_acquire));
@@ -275,6 +277,7 @@ class ListDeque {
   // fixed, the chain doubly linked and acyclic, deleted bits only on the
   // sentinels' inward words, and null values exactly where a set bit
   // licenses them.
+  // DCD_GUARD_EXEMPT(quiescent test-only walk; no concurrent frees by contract)
   bool check_rep_inv_unsynchronized() const {
     if (sl_.value.raw.load(std::memory_order_acquire) != dcas::kSentL) return false;
     if (sr_.value.raw.load(std::memory_order_acquire) != dcas::kSentR) return false;
@@ -325,6 +328,7 @@ class ListDeque {
   bool left_deleted_bit_unsynchronized() const {
     return dcas::deleted_of(sl_.right.raw.load(std::memory_order_acquire));
   }
+  // DCD_GUARD_EXEMPT(quiescent test-only walk; no concurrent frees by contract)
   std::size_t chain_length_unsynchronized() const {
     std::size_t count = 0;
     const Node* n = dcas::pointer_of<Node>(sl_.right.raw.load(std::memory_order_acquire));
@@ -339,6 +343,7 @@ class ListDeque {
   // the walks above; the model checker additionally calls this at explored
   // states, where it is exact because every model thread is parked *before*
   // its next access (no step is half-done).
+  // DCD_GUARD_EXEMPT(quiescent test-only walk; no concurrent frees by contract)
   ListRepView rep_view_unsynchronized() const {
     ListRepView view;
     view.sentinel_values_ok =
@@ -410,6 +415,7 @@ class ListDeque {
   // this). Prompt a collect (epoch advance + own-slot drain) and retry
   // once; repeated failing pushes re-enter at fresh epochs, so the limbo
   // ages out across calls even though one collect advances at most once.
+  // DCD_REQUIRES_GUARD(pool allocate pops a shared free list; the op guard must pin the epoch)
   Node* allocate_node() {
     if (void* p = pool_.allocate()) return static_cast<Node*>(p);
     reclaimer_.collect();
@@ -417,6 +423,7 @@ class ListDeque {
   }
 
   // Figure 17.
+  // DCD_REQUIRES_GUARD(only called from push/pop paths that hold the operation guard)
   void delete_right() {
     util::AdaptiveBackoff::Session backoff;
     for (;;) {
@@ -460,6 +467,7 @@ class ListDeque {
   }
 
   // Figure 34 (mirror).
+  // DCD_REQUIRES_GUARD(only called from push/pop paths that hold the operation guard)
   void delete_left() {
     util::AdaptiveBackoff::Session backoff;
     for (;;) {

@@ -73,6 +73,7 @@ class ListDequeDummy {
     Dcas::store_init(sr_.right, 0);
   }
 
+  // DCD_GUARD_EXEMPT(single-threaded teardown; no concurrent frees exist)
   ~ListDequeDummy() {
     // Single-threaded teardown: free any sentinel-level dummies, then the
     // chain (the walk starts at the leftmost real node, which a left dummy
@@ -238,6 +239,7 @@ class ListDequeDummy {
   // structure holds no in-flight descriptors, and acquire synchronises
   // with the releasing DCAS of whatever operation last touched each word.
 
+  // DCD_GUARD_EXEMPT(quiescent test-only walk; no concurrent frees by contract)
   std::size_t size_unsynchronized() const {
     std::size_t count = 0;
     const Node* n = resolve(sl_.right.raw.load(std::memory_order_acquire));
@@ -253,6 +255,7 @@ class ListDequeDummy {
   // sentinel-level dummies) is doubly linked and acyclic; dummies appear
   // only at sentinel level and target the adjacent chain end; null values
   // appear exactly where a dummy licenses them.
+  // DCD_GUARD_EXEMPT(quiescent test-only walk; no concurrent frees by contract)
   bool check_rep_inv_unsynchronized() const {
     if (sl_.value.raw.load(std::memory_order_acquire) != dcas::kSentL) return false;
     if (sr_.value.raw.load(std::memory_order_acquire) != dcas::kSentR) return false;
@@ -336,22 +339,26 @@ class ListDequeDummy {
   // Prompt a collect and retry once before reporting exhaustion. The pop
   // paths need this even more than the pushes — a pop that cannot allocate
   // its dummy spins, so a stuck limbo would livelock it outright.
+  // DCD_REQUIRES_GUARD(pool allocate pops a shared free list; the op guard must pin the epoch)
   Node* allocate_node() {
     if (void* p = pool_.allocate()) return static_cast<Node*>(p);
     reclaimer_.collect();
     return static_cast<Node*>(pool_.allocate());
   }
 
+  // DCD_REQUIRES_GUARD(reads a chain node's value word; live only under the caller's protection)
   static bool is_dummy(const Node* n) noexcept {
     return n->value.raw.load(std::memory_order_acquire) == dcas::kDummy;
   }
 
   // Quiescent helpers for teardown/introspection.
+  // DCD_GUARD_EXEMPT(quiescent helper; callers are teardown or test-only walks)
   Node* dummy_of(std::uint64_t word) const {
     auto* n = dcas::pointer_of<Node>(word);
     return (n != nullptr && n != &sl_ && n != &sr_ && is_dummy(n)) ? n
                                                                    : nullptr;
   }
+  // DCD_REQUIRES_GUARD(resolved pointer stays live only while the caller's scope pins it)
   const Node* resolve(std::uint64_t word) const {
     auto* n = dcas::pointer_of<const Node>(word);
     if (n != nullptr && n != &sl_ && n != &sr_ && is_dummy(n)) {
@@ -359,6 +366,7 @@ class ListDequeDummy {
     }
     return n;
   }
+  // DCD_REQUIRES_GUARD(resolved pointer stays live only while the caller's scope pins it)
   Node* resolve(std::uint64_t word) {
     return const_cast<Node*>(
         static_cast<const ListDequeDummy*>(this)->resolve(word));
@@ -369,6 +377,7 @@ class ListDequeDummy {
 
   // Figure 17 with the dummy encoding: SR->L == D(dummy->X) plays the role
   // of {X, deleted=1}.
+  // DCD_REQUIRES_GUARD(only called from push/pop paths that hold the operation guard)
   void delete_right() {
     util::AdaptiveBackoff::Session backoff;
     for (;;) {
@@ -412,6 +421,7 @@ class ListDequeDummy {
     }
   }
 
+  // DCD_REQUIRES_GUARD(only called from push/pop paths that hold the operation guard)
   void delete_left() {
     util::AdaptiveBackoff::Session backoff;
     for (;;) {

@@ -196,6 +196,7 @@ class LfrcStack {
   LfrcStack& operator=(const LfrcStack&) = delete;
 
   // Returns false when the node pool is exhausted.
+  // DCD_GUARD_EXEMPT(node is thread-private and holds a local LFRC unit until the publishing CAS)
   bool push(T v) {
     void* raw = pool_.allocate();
     if (raw == nullptr) return false;

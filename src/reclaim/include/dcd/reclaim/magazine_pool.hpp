@@ -95,6 +95,7 @@ class MagazinePool {
   // Pops a node; nullptr only when the shared list AND every magazine are
   // empty. Same caller contract as NodePool::allocate (EBR guard held if
   // frees are concurrent) — the refill path detaches under that guard.
+  // DCD_REQUIRES_GUARD(refill detaches from the shared free list under the caller's EBR guard)
   void* allocate() noexcept {
     Magazine& m = my_magazine();
     if (m.lock.exchange(true, std::memory_order_acquire)) {
@@ -259,6 +260,7 @@ class MagazinePool {
   // try-lock. This is also what makes a dead thread's inventory reachable
   // — its magazine stays stealable after the slot recycles, so "flush on
   // thread exit" is realised lazily by whoever needs the nodes.
+  // DCD_REQUIRES_GUARD(falls through to NodePool::allocate; same EBR-guard contract)
   void* sweep_allocate() noexcept {
     for (Magazine& v : mags_) {
       if (v.lock.exchange(true, std::memory_order_acquire)) continue;

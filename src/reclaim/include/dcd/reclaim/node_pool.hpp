@@ -27,6 +27,7 @@ class NodePool {
   // Every allocation is `node_size` bytes, aligned to a cache line (which
   // also guarantees the low 3 bits of node addresses are zero — the word
   // encoding in dcd::dcas relies on this).
+  // DCD_GUARD_EXEMPT(single-threaded construction; the free list is private until the pool is shared)
   NodePool(std::size_t node_size, std::size_t capacity)
       : node_size_(round_up(node_size)), capacity_(capacity) {
     DCD_ASSERT(capacity > 0);
@@ -52,6 +53,7 @@ class NodePool {
 
   // Pops a node; nullptr when exhausted. Caller must hold an EBR guard if
   // other threads may be deallocating concurrently.
+  // DCD_REQUIRES_GUARD(Treiber pop reads head->next; the caller's EBR guard keeps head unreclaimed)
   void* allocate() noexcept {
     FreeNode* head = head_->load(std::memory_order_acquire);
     while (head != nullptr) {
@@ -69,6 +71,7 @@ class NodePool {
 
   // Pushes a node back. Safe only from EBR reclamation callbacks or when
   // the caller owns the node exclusively (see class comment).
+  // DCD_GUARD_EXEMPT(caller owns the node exclusively — post-grace callback or never shared)
   void deallocate(void* p) noexcept {
     DCD_DEBUG_ASSERT(owns(p));
     auto* fn = static_cast<FreeNode*>(p);
@@ -107,6 +110,7 @@ class NodePool {
   // Detaches up to `want` nodes as a linked chain; returns the chain head
   // (links readable via chain_next) and writes the actual count to *got.
   // nullptr / 0 when the free list is empty. Caller must hold an EBR guard.
+  // DCD_REQUIRES_GUARD(chain walk reads free-list links; the caller's EBR guard keeps them unreclaimed)
   void* allocate_chain(std::size_t want, std::size_t* got) noexcept {
     DCD_ASSERT(want > 0);
     FreeNode* head = head_->load(std::memory_order_acquire);
@@ -153,6 +157,7 @@ class NodePool {
   // one CAS. Same ownership contract as deallocate(): the caller must own
   // every node in the chain exclusively (magazine flushes qualify — their
   // nodes arrived via deallocate paths, i.e. post-grace or never shared).
+  // DCD_GUARD_EXEMPT(caller owns every chain node exclusively — post-grace or never shared)
   void deallocate_chain(void* first, void* last, std::size_t count) noexcept {
     DCD_DEBUG_ASSERT(owns(first) && owns(last));
     auto* f = static_cast<FreeNode*>(first);
@@ -170,9 +175,11 @@ class NodePool {
   // Chain-link accessors so MagazinePool can thread private (unshared)
   // chains through node storage without knowing FreeNode's layout. Only
   // valid on nodes the caller owns exclusively.
+  // DCD_GUARD_EXEMPT(valid only on exclusively-owned chain nodes per the accessor contract)
   static void* chain_next(void* p) noexcept {
     return static_cast<FreeNode*>(p)->next.load(std::memory_order_relaxed);
   }
+  // DCD_GUARD_EXEMPT(valid only on exclusively-owned chain nodes per the accessor contract)
   static void chain_set_next(void* p, void* next) noexcept {
     static_cast<FreeNode*>(p)->next.store(static_cast<FreeNode*>(next),
                                           std::memory_order_relaxed);

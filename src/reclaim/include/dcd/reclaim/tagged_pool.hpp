@@ -38,6 +38,7 @@ namespace dcd::reclaim {
 
 class TaggedNodePool {
  public:
+  // DCD_GUARD_EXEMPT(single-threaded construction; the free list is private until the pool is shared)
   TaggedNodePool(std::size_t node_size, std::size_t capacity)
       : node_size_(round_up(node_size)), capacity_(capacity) {
     DCD_ASSERT(capacity > 0);
@@ -65,6 +66,7 @@ class TaggedNodePool {
   TaggedNodePool(const TaggedNodePool&) = delete;
   TaggedNodePool& operator=(const TaggedNodePool&) = delete;
 
+  // DCD_GUARD_EXEMPT(version tag detects recycling; the speculative next read is discarded on tag mismatch)
   void* allocate() noexcept {
 #if DCD_TAGGED_POOL_LOCKFREE
     util::Backoff backoff;
@@ -96,6 +98,7 @@ class TaggedNodePool {
 #endif
   }
 
+  // DCD_GUARD_EXEMPT(caller owns the node exclusively — post-grace callback or never shared)
   void deallocate(void* p) noexcept {
     DCD_DEBUG_ASSERT(owns(p));
     auto* fn = static_cast<FreeNode*>(p);

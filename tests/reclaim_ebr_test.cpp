@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -80,6 +81,86 @@ TEST(Ebr, GuardsAreReentrant) {
   domain.retire_delete(p);
   for (int i = 0; i < 8; ++i) domain.collect();
   EXPECT_EQ(Tracked::live.load(), 1);
+}
+
+TEST(Ebr, NestedGuardExitOrderingHoldsPin) {
+  // Scope-exit ordering: exiting an inner guard must decrement the
+  // nesting count, not unpin the slot — the thread stays pinned until
+  // the outermost guard exits. This is the property the analyzer's
+  // guard pass assumes when it treats an enclosing scope as covering
+  // every deref (and nested Guard) inside it.
+  const int base = Tracked::live.load();
+  EbrDomain domain;
+  auto* p = new Tracked;
+  {
+    EbrDomain::Guard outer(domain);
+    {
+      EbrDomain::Guard inner(domain);
+      domain.retire_delete(p);
+    }
+    // `inner` has exited; `outer` must still hold the pin.
+    for (int i = 0; i < 8; ++i) domain.collect();
+    EXPECT_EQ(Tracked::live.load(), base + 1)
+        << "inner guard exit unpinned the slot under a live outer guard";
+  }
+  for (int i = 0; i < 4; ++i) domain.collect();
+  EXPECT_EQ(Tracked::live.load(), base);
+}
+
+TEST(Ebr, DeepReentrancyUnwindsToQuiescent) {
+  // A deep stack of same-domain guards (well past any drain threshold)
+  // pins exactly once and unpins exactly once, at full unwind.
+  const int base = Tracked::live.load();
+  EbrDomain domain;
+  auto* p = new Tracked;
+  std::function<void(int)> nest = [&](int depth) {
+    EbrDomain::Guard guard(domain);
+    if (depth > 0) {
+      nest(depth - 1);
+      return;
+    }
+    domain.retire_delete(p);
+    for (int i = 0; i < 8; ++i) domain.collect();
+    EXPECT_EQ(Tracked::live.load(), base + 1);
+  };
+  nest(32);
+  // All 33 guards unwound: the slot is quiescent again.
+  for (int i = 0; i < 4; ++i) domain.collect();
+  EXPECT_EQ(Tracked::live.load(), base);
+}
+
+TEST(Ebr, CrossDomainNestedGuardsExitIndependently) {
+  // The MCAS engine pins its own domain inside deque operations that
+  // already hold a guard on another domain; each domain's pin must
+  // track its own guard scope only.
+  const int base = Tracked::live.load();
+  EbrDomain outer_dom;
+  EbrDomain inner_dom;
+  auto* po = new Tracked;
+  auto* pi = new Tracked;
+  {
+    EbrDomain::Guard outer(outer_dom);
+    {
+      EbrDomain::Guard inner(inner_dom);
+      outer_dom.retire_delete(po);
+      inner_dom.retire_delete(pi);
+      for (int i = 0; i < 8; ++i) {
+        outer_dom.collect();
+        inner_dom.collect();
+      }
+      EXPECT_EQ(Tracked::live.load(), base + 2);
+    }
+    // inner_dom is quiescent, outer_dom still pinned: exactly the
+    // inner domain's object may free.
+    for (int i = 0; i < 8; ++i) {
+      outer_dom.collect();
+      inner_dom.collect();
+    }
+    EXPECT_EQ(Tracked::live.load(), base + 1)
+        << "outer domain freed under its own live guard";
+  }
+  for (int i = 0; i < 4; ++i) outer_dom.collect();
+  EXPECT_EQ(Tracked::live.load(), base);
 }
 
 TEST(Ebr, DestructorFreesEverything) {

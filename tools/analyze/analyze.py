@@ -1,24 +1,38 @@
 #!/usr/bin/env python3
 """AST-grade concurrency analyzer for the DCAS deque tree.
 
-Four passes over src/ (see passes.py and tools/analyze/README.md):
+Six passes over src/ (see passes.py and tools/analyze/README.md):
 
-  contract   every atomic access checked against the per-field memory-order
-             contract table in contracts.toml (pairing, guard loads,
-             operator-form implicit accesses)
-  sync       every CAS/DCAS call site in src/deque, src/reclaim, src/dcas
-             maps to a classified sync point from chaos.hpp's roster
-             (the inverse of tools/lint's registry-side check)
-  progress   every CAS-failure retry loop reaches a backoff/elimination/
-             helping edge on its failure path (the non-blocking claim as a
-             CFG obligation)
-  lp         every DCAS site in src/deque carries a DCD_LP proof-obligation
-             annotation; coverage is validated against the RepAuditor
-             clause roster and rendered into docs/PROOF_MAP.md
+  contract     every atomic access checked against the per-field
+               memory-order contract table in contracts.toml (pairing,
+               guard loads, operator-form implicit accesses)
+  sync         every CAS/DCAS call site in src/deque, src/reclaim, src/dcas
+               maps to a classified sync point from chaos.hpp's roster
+               (the inverse of tools/lint's registry-side check)
+  progress     every CAS-failure retry loop reaches a backoff/elimination/
+               helping edge on its failure path (the non-blocking claim as
+               a CFG obligation)
+  lp           every DCAS site in src/deque carries a DCD_LP
+               proof-obligation annotation; coverage is validated against
+               the RepAuditor clause roster and rendered into
+               docs/PROOF_MAP.md
+  guard        every dereference of a pool-allocated node is dominated by
+               a live protection scope (Guard object, LFRC acquisition, or
+               a DCD_REQUIRES_GUARD caller contract propagated through the
+               call graph); escapes and unprotected calls are findings,
+               DCD_GUARD_EXEMPT(why) records justified exceptions; the map
+               is rendered into docs/GUARD_MAP.md
+  shared-plain plain (non-atomic) accesses to the shared-reachable fields
+               rostered in [[shared.struct]] must show the claimed
+               happens-before licence (owner function or lock token)
+
+Plus the annotation roster check: any DCD_* token outside the known set
+([annotations] in contracts.toml) is an `unknown-annotation` finding.
 
 Exit codes: 0 clean, 1 findings, 2 configuration error — matching
 tools/lint/atomics_audit.py, whose suppression-file format this tool
-shares (`<path-suffix> : <rule> : <substring>  # justification`).
+shares via tools/pylib/suppressions.py
+(`<path-suffix> : <rule> : <substring>  # justification`).
 
 Frontends: the token frontend (cpp_model.py) is dependency-free and
 authoritative. When the clang python bindings + compile_commands.json are
@@ -38,10 +52,12 @@ import re
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "pylib"))
 
 import cpp_model as cm
 import passes
 import clang_frontend
+import suppressions as sup
 
 try:
     import tomllib
@@ -63,8 +79,12 @@ RULE_IDS = (
     # pass 4: lp
     "lp-unknown-figure", "lp-unknown-point", "lp-unknown-clause",
     "lp-unattached", "lp-missing", "lp-clause-roster-gap",
+    # pass 5: guard
+    "unguarded-node-deref", "guard-escape", "unprotected-guarded-call",
+    # pass 6: shared-plain
+    "shared-plain-access", "shared-plain-unknown-field",
     # cross-cutting
-    "malformed-annotation", "frontend-divergence",
+    "unknown-annotation", "malformed-annotation", "frontend-divergence",
 )
 
 
@@ -73,60 +93,24 @@ def config_error(msg: str) -> None:
     raise SystemExit(2)
 
 
-# --- suppressions (same format as tools/lint/atomics_audit.py) -------------
+# --- suppressions (shared format/parser: tools/pylib/suppressions.py) ------
+#
+# This tool opts into wildcards: `*` is accepted for the path-suffix and
+# rule fields, and the substring is matched against both the snippet and
+# the finding message (tools/lint keeps its stricter exact-match rules).
 
-@dataclasses.dataclass
-class Suppression:
-    path_suffix: str
-    rule: str
-    substring: str
-    justification: str
-    source_line: int
-    used: bool = False
-
-    def matches(self, f: passes.Finding) -> bool:
-        if not f.path.endswith(self.path_suffix) and self.path_suffix != "*":
-            return False
-        if f.rule != self.rule and self.rule != "*":
-            return False
-        return (self.substring == "*" or self.substring in f.snippet
-                or self.substring in f.message)
+Suppression = sup.Suppression
 
 
-def parse_suppressions(text: str, origin: str) -> list[Suppression]:
-    sups = []
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        matcher, sep, justification = line.partition("#")
-        justification = justification.strip()
-        if not sep or not justification:
-            config_error(f"{origin}:{lineno}: suppression lacks a "
-                         "justification (append `# <one-line reason>`)")
-        parts = [p.strip() for p in re.split(r"\s+:\s+", matcher.strip(),
-                                             maxsplit=2)]
-        if len(parts) != 3 or not all(parts):
-            config_error(f"{origin}:{lineno}: expected `<path-suffix> : "
-                         f"<rule> : <substring>  # <reason>`, got: {line}")
-        path_suffix, rule, substring = parts
-        if rule not in RULE_IDS and rule != "*":
-            config_error(f"{origin}:{lineno}: unknown rule id '{rule}'")
-        sups.append(Suppression(path_suffix, rule, substring, justification,
-                                lineno))
-    return sups
+def parse_suppressions(text: str, origin: str) -> list[sup.Suppression]:
+    return sup.parse(text, origin, RULE_IDS, allow_wildcards=True,
+                     on_error=config_error)
 
 
 def apply_suppressions(findings: list[passes.Finding],
-                       sups: list[Suppression]) -> list[passes.Finding]:
-    remaining = []
-    for f in findings:
-        hit = next((s for s in sups if s.matches(f)), None)
-        if hit is not None:
-            hit.used = True
-        else:
-            remaining.append(f)
-    return remaining
+                       sups: list[sup.Suppression]) -> list[passes.Finding]:
+    return sup.apply(findings, sups,
+                     lambda f: (f.path, f.rule, (f.snippet, f.message)))
 
 
 # --- model building --------------------------------------------------------
@@ -142,7 +126,7 @@ def load_config(path: pathlib.Path) -> dict:
 
 def scan_dir_union(cfg: dict) -> list[str]:
     dirs: list[str] = []
-    for section in ("contract", "sync", "progress", "lp"):
+    for section in ("contract", "sync", "progress", "lp", "guard", "shared"):
         for d in cfg.get(section, {}).get("scan_dirs", []):
             if d not in dirs:
                 dirs.append(d)
@@ -165,7 +149,8 @@ def build_models(root: pathlib.Path,
             rel = p.relative_to(root).as_posix()
             if any(m.path == rel for m in models):
                 continue
-            model, bad = cm.build_file_model(rel, p.read_text(), tokens)
+            model, bad = cm.build_file_model(rel, p.read_text(), tokens,
+                                             cfg.get("guard", {}))
             models.append(model)
             for line, msg in bad:
                 malformed.append(passes.Finding(
@@ -200,6 +185,9 @@ def run_all_passes(models: list[cm.FileModel], cfg: dict, roster: set[str],
     findings += passes.run_sync_pass(models, cfg, roster)
     findings += passes.run_progress_pass(models, cfg)
     findings += passes.run_lp_pass(models, cfg, roster, clauses)
+    findings += passes.run_guard_pass(models, cfg)
+    findings += passes.run_shared_plain_pass(models, cfg)
+    findings += passes.run_annotation_pass(models, cfg)
     return findings
 
 
@@ -276,6 +264,20 @@ def run_analysis(args) -> int:
             if on_disk != text:
                 print(f"analyze: {target} is stale; regenerate with "
                       "`python3 tools/analyze/analyze.py --emit-proof-map "
+                      f"{target}`", file=sys.stderr)
+                return 1
+
+    if args.emit_guard_map or args.check_guard_map:
+        text = passes.emit_guard_map(models, cfg)
+        target = args.emit_guard_map or args.check_guard_map
+        if args.emit_guard_map:
+            target.write_text(text)
+            print(f"analyze: wrote {target}", file=sys.stderr)
+        else:
+            on_disk = target.read_text() if target.is_file() else ""
+            if on_disk != text:
+                print(f"analyze: {target} is stale; regenerate with "
+                      "`python3 tools/analyze/analyze.py --emit-guard-map "
                       f"{target}`", file=sys.stderr)
                 return 1
 
@@ -402,6 +404,91 @@ SELF_TEST_CASES = [
       "retry-loop-no-progress"]),            # j: no progress edge at all
 ]
 
+# Passes 5/6 + the annotation roster get their own config so the seeded
+# sources are checked by the new passes alone (no sync/lp roster noise).
+GUARD_TEST_CONFIG = {
+    "guard": {
+        "scan_dirs": ["src/guard"],
+        "node_types": ["Node"],
+        "lfrc_tokens": ["R::load("],
+    },
+    "shared": {
+        "scan_dirs": ["src/guard"],
+        "struct": [{
+            "owner": "Box", "file": "shared_bad.hpp",
+            "fields": ["a", "b"], "functions": ["locked_get"],
+            "tokens": ["lock.exchange(true"],
+            "why": "seeded try-lock protocol",
+        }],
+    },
+    "annotations": {
+        "known": ["DCD_SYNC", "DCD_LP", "DCD_PROGRESS",
+                  "DCD_REQUIRES_GUARD", "DCD_GUARD_EXEMPT",
+                  "DCD_NO_SANITIZE_*"],
+    },
+}
+
+GUARD_BAD_SRC = (
+    "struct D {\n"
+    "  int peek() {\n"
+    "    Node* n = head();\n"
+    "    return n->value;\n"              # unguarded-node-deref
+    "  }\n"
+    "  Node* grab() {\n"
+    "    Reclaim::Guard guard(dom_);\n"
+    "    Node* n = head();\n"
+    "    use(n->value);\n"
+    "    return n;\n"                     # guard-escape
+    "  }\n"
+    "  void caller() {\n"
+    "    fetch();\n"                      # unprotected-guarded-call
+    "  }\n"
+    "  // DCD_REQUIRES_GUARD(caller pins the EBR domain)\n"
+    "  Node* fetch() {\n"
+    "    Node* n = head();\n"
+    "    use(n->value);\n"
+    "    return n;\n"
+    "  }\n"
+    "};\n")
+
+GUARD_CLEAN_SRC = (
+    "struct D {\n"
+    "  void walk() {\n"
+    "    Reclaim::Guard guard(dom_);\n"
+    "    Node* n = head();\n"
+    "    use(n->value);\n"
+    "    fetch();\n"
+    "  }\n"
+    "  // DCD_GUARD_EXEMPT(single-threaded teardown)\n"
+    "  ~D() {\n"
+    "    Node* n = head();\n"
+    "    use(n->value);\n"
+    "  }\n"
+    "  // DCD_REQUIRES_GUARD(caller pins the EBR domain)\n"
+    "  Node* fetch() {\n"
+    "    Node* t = R::load(top_);\n"
+    "    use(t->value);\n"
+    "    return t;\n"
+    "  }\n"
+    "};\n")
+
+SHARED_BAD_SRC = (
+    "struct Box {\n"
+    "  std::atomic<bool> lock{false};\n"
+    "  int a = 0;\n"
+    "  int b = 0;\n"
+    "  int c = 0;\n"                      # not rostered: drift finding
+    "};\n"
+    "struct M {\n"
+    "  int locked_get(Box& x) { return x.a; }\n"
+    "  void put(Box& x) {\n"
+    "    while (x.lock.exchange(true, std::memory_order_acquire)) {}\n"
+    "    x.a = 1;\n"                      # licensed by the lock token
+    "    x.lock.store(false, std::memory_order_release);\n"
+    "  }\n"
+    "  int steal(Box& x) { return x.b; }\n"  # shared-plain-access
+    "};\n")
+
 
 def self_test() -> int:
     failures = []
@@ -478,13 +565,67 @@ def self_test() -> int:
     if not bad:
         failures.append("malformed DCD_LP not reported")
 
+    # Pass 5: one seeded violation per guard rule, plus a clean file.
+    gcfg = GUARD_TEST_CONFIG["guard"]
+    gbad_model, gbad_ann = cm.build_file_model(
+        "src/guard/guard_bad.hpp", GUARD_BAD_SRC, [], gcfg)
+    got = sorted(f.rule for f in passes.run_guard_pass([gbad_model],
+                                                       GUARD_TEST_CONFIG))
+    want = ["guard-escape", "unguarded-node-deref",
+            "unprotected-guarded-call"]
+    if got != want or gbad_ann:
+        failures.append(f"guard seeded case: expected {want}, got {got}")
+
+    gclean_model, gclean_ann = cm.build_file_model(
+        "src/guard/guard_clean.hpp", GUARD_CLEAN_SRC, [], gcfg)
+    gf = passes.run_guard_pass([gclean_model], GUARD_TEST_CONFIG)
+    if gf or gclean_ann:
+        failures.append("guard-clean seeded file produced findings: "
+                        + "; ".join(f.rule for f in gf))
+
+    # The guard map renders all three discharge kinds from the clean file.
+    gmap = passes.emit_guard_map([gclean_model], GUARD_TEST_CONFIG)
+    for needle in ("`fetch`", "caller-provided guard", "local guard scope",
+                   "`DCD_GUARD_EXEMPT` — single-threaded teardown"):
+        if needle not in gmap:
+            failures.append(f"guard map missing '{needle}'")
+
+    # Pass 6: a plain access outside the licence + a drifted plain member;
+    # the token-licensed and owner-function accesses stay silent.
+    smodel, _ = cm.build_file_model("src/guard/shared_bad.hpp",
+                                    SHARED_BAD_SRC, [], gcfg)
+    got = sorted(f.rule for f in passes.run_shared_plain_pass(
+        [smodel], GUARD_TEST_CONFIG))
+    want = ["shared-plain-access", "shared-plain-unknown-field"]
+    if got != want:
+        failures.append(f"shared-plain seeded case: expected {want}, "
+                        f"got {got}")
+
+    # unknown-annotation: a typoed DCD_ token is a finding.
+    amodel, _ = cm.build_file_model(
+        "src/guard/ann_bad.hpp", "// DCD_SYNCC(dcas.any)\nvoid f();\n", [])
+    got = [f.rule for f in passes.run_annotation_pass([amodel],
+                                                      GUARD_TEST_CONFIG)]
+    if got != ["unknown-annotation"]:
+        failures.append(f"unknown-annotation seeded case got {got}")
+
+    # Malformed guard annotations (empty why, or attaching to no function)
+    # are reported, not silently dropped.
+    _, gbad1 = cm.build_file_model(
+        "src/guard/empty.hpp", "// DCD_GUARD_EXEMPT()\nvoid f() {}\n", [])
+    _, gbad2 = cm.build_file_model(
+        "src/guard/orphan.hpp", "// DCD_REQUIRES_GUARD(note)\nint x = 3;\n",
+        [])
+    if not gbad1 or not gbad2:
+        failures.append("malformed guard annotation not reported")
+
     if failures:
         print("self-test FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 2
     print(f"self-test OK ({len(SELF_TEST_CASES)} seeded cases, "
-          "4 passes covered)")
+          "6 passes + annotation roster covered)")
     return 0
 
 
@@ -511,6 +652,10 @@ def main() -> int:
                     help="write the generated LP proof map (markdown)")
     ap.add_argument("--check-proof-map", type=pathlib.Path, default=None,
                     help="fail (exit 1) if the on-disk proof map is stale")
+    ap.add_argument("--emit-guard-map", type=pathlib.Path, default=None,
+                    help="write the generated guard-obligation map")
+    ap.add_argument("--check-guard-map", type=pathlib.Path, default=None,
+                    help="fail (exit 1) if the on-disk guard map is stale")
     ap.add_argument("--strict", action="store_true",
                     help="unused suppressions are errors, not warnings")
     ap.add_argument("--self-test", action="store_true",

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Fixture-tree corpus check for analyzer passes 5/6 + annotation roster.
+
+Runs the guard, shared-plain, and unknown-annotation passes over the
+mini-sources in tools/analyze/fixtures/: the good/ tree must analyze
+clean, and each bad/ file must produce exactly its expected rule
+multiset. This pins the passes' behaviour on curated inputs that are
+independent of the real tree — an analyzer regression that stops
+*finding* violations fails here even while the (clean) tree keeps
+passing --strict.
+
+Exit codes: 0 all fixtures behave, 1 mismatch, 2 fixture tree missing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+import cpp_model as cm  # noqa: E402
+import passes  # noqa: E402
+
+FIXTURES = HERE / "fixtures"
+
+# The analysis config the fixtures are written against (mirrors the
+# shape of contracts.toml's [guard]/[shared]/[annotations] sections).
+CONFIG = {
+    "guard": {
+        "scan_dirs": ["fixtures"],
+        "node_types": ["Node"],
+        "lfrc_tokens": ["R::load("],
+    },
+    "shared": {
+        "scan_dirs": ["fixtures"],
+        "struct": [
+            {"owner": "Box", "file": "good/clean_shared.hpp",
+             "fields": ["a"], "functions": ["owner_get"],
+             "tokens": ["lock.exchange(true"],
+             "why": "fixture: try-lock protocol"},
+            {"owner": "Box", "file": "bad/shared_violations.hpp",
+             "fields": ["a"], "functions": [], "tokens": [],
+             "why": "fixture: no licence on purpose"},
+        ],
+    },
+    "annotations": {
+        "known": ["DCD_SYNC", "DCD_LP", "DCD_PROGRESS",
+                  "DCD_REQUIRES_GUARD", "DCD_GUARD_EXEMPT"],
+    },
+}
+
+# file (relative to fixtures/) -> expected sorted rule list. good/ files
+# must be absent (no findings at all).
+EXPECTED = {
+    "bad/guard_violations.hpp": [
+        "guard-escape", "unguarded-node-deref", "unprotected-guarded-call"],
+    "bad/shared_violations.hpp": [
+        "shared-plain-access", "shared-plain-unknown-field"],
+    "bad/typo_annotation.hpp": ["unknown-annotation"],
+}
+
+
+def main() -> int:
+    if not FIXTURES.is_dir():
+        print(f"check_fixtures: missing fixture tree {FIXTURES}",
+              file=sys.stderr)
+        return 2
+    models = []
+    findings = []
+    for path in sorted(FIXTURES.rglob("*.hpp")):
+        rel = path.relative_to(FIXTURES).as_posix()
+        model, malformed = cm.build_file_model(
+            f"fixtures/{rel}", path.read_text(), [], CONFIG["guard"])
+        models.append(model)
+        findings += [passes.Finding("driver", "malformed-annotation",
+                                    model.path, line, msg)
+                     for line, msg in malformed]
+
+    findings += passes.run_guard_pass(models, CONFIG)
+    findings += passes.run_shared_plain_pass(models, CONFIG)
+    findings += passes.run_annotation_pass(models, CONFIG)
+
+    by_file: dict[str, list[str]] = {}
+    for f in findings:
+        rel = f.path.removeprefix("fixtures/")
+        by_file.setdefault(rel, []).append(f.rule)
+
+    failures = []
+    for rel, rules in sorted(by_file.items()):
+        want = EXPECTED.get(rel)
+        if want is None:
+            failures.append(f"{rel}: expected clean, got {sorted(rules)}")
+        elif sorted(rules) != want:
+            failures.append(f"{rel}: expected {want}, got {sorted(rules)}")
+    for rel, want in EXPECTED.items():
+        if rel not in by_file:
+            failures.append(f"{rel}: expected {want}, got nothing")
+
+    if failures:
+        for msg in failures:
+            print(f"check_fixtures FAIL: {msg}", file=sys.stderr)
+        for f in findings:
+            print(f"  {f.path}:{f.line}: [{f.rule}] {f.message}",
+                  file=sys.stderr)
+        return 1
+    print(f"check_fixtures OK ({len(models)} fixtures, "
+          f"{len(EXPECTED)} seeded-bad, good tree clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,7 @@ RMW_OPS = ("exchange", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
 
 CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "do", "else",
                     "return", "sizeof", "alignas", "alignof", "static_assert",
-                    "decltype", "assert"}
+                    "decltype", "assert", "requires"}
 
 
 # --- masking (comments kept aside: the annotations live in them) -----------
@@ -280,6 +280,41 @@ class RetryLoop:
     justified: str | None               # DCD_PROGRESS reason, if annotated
 
 
+@dataclasses.dataclass(frozen=True)
+class NodeDeref:
+    var: str             # tracked local/parameter name ("" for cast-exprs)
+    off: int             # offset in the masked text
+    line: int
+
+
+@dataclasses.dataclass
+class FuncModel:
+    """Per-function facts for the guard pass (pass 5).
+
+    ``guard_spans`` are (site_off, cover_end_off) pairs: a guard object
+    protects from its declaration to the close of the innermost brace
+    scope containing it (C++ scoped-destructor semantics).
+    ``node_vars`` maps tracked pool-node locals/parameters to whether
+    every one of their initialisers is an LFRC acquisition (which carries
+    its own protection).
+    """
+    name: str
+    path: str
+    line: int            # first line of the definition header
+    open_line: int       # line of the body's `{`
+    header_off: int
+    open_off: int
+    close_off: int
+    requires_guard: str | None = None    # DCD_REQUIRES_GUARD note
+    exempt: str | None = None            # DCD_GUARD_EXEMPT why
+    guard_spans: tuple[tuple[int, int], ...] = ()
+    guard_lines: tuple[int, ...] = ()
+    node_vars: dict[str, bool] = dataclasses.field(default_factory=dict)
+    derefs: tuple[NodeDeref, ...] = ()
+    returns: tuple[NodeDeref, ...] = ()
+    calls: tuple[tuple[str, int, int], ...] = ()   # (callee, off, line)
+
+
 @dataclasses.dataclass
 class FileModel:
     path: str
@@ -292,6 +327,9 @@ class FileModel:
     syncs: list[SyncAnnotation] = dataclasses.field(default_factory=list)
     lps: list[LpAnnotation] = dataclasses.field(default_factory=list)
     lines: list[str] = dataclasses.field(default_factory=list)
+    funcs: list[FuncModel] = dataclasses.field(default_factory=list)
+    masked: str = ""
+    scopes: list[Scope] = dataclasses.field(default_factory=list)
 
 
 # --- annotation grammar ----------------------------------------------------
@@ -719,16 +757,212 @@ def _tail_statement_has_progress(body: str,
     return any(tok in last_stmt for tok in progress_tokens)
 
 
+# --- guard facts (passes 5/6) ----------------------------------------------
+#
+#   // DCD_REQUIRES_GUARD(note)  — the function touches pool nodes and the
+#                                  CALLER must hold a live protection scope
+#   // DCD_GUARD_EXEMPT(why)     — justified exception (single-threaded
+#                                  teardown, type-stable slab, ...)
+#
+# Both attach to the function definition they precede (same comment-block
+# machinery as DCD_SYNC); empty text or an annotation that attaches to no
+# function is malformed.
+
+REQUIRES_GUARD_RE = re.compile(r"DCD_REQUIRES_GUARD\(\s*([^)]*?)\s*\)")
+GUARD_EXEMPT_RE = re.compile(r"DCD_GUARD_EXEMPT\(\s*([^)]*?)\s*\)")
+
+# `Reclaim::Guard guard(domain)` / `EbrDomain::Guard g{dom}`: a named guard
+# object declaration. Requiring a variable name plus `(`/`{` keeps
+# `class Guard {`, `explicit Guard(...)`, deleted copy ctors and concept
+# uses (`typename R::Guard;`) from matching.
+GUARD_SITE_RE = re.compile(r"\b(?:[A-Za-z_]\w*::)*Guard\s+[A-Za-z_]\w*\s*[({]")
+
+_CAST_KEYWORDS = {"static_cast", "reinterpret_cast", "const_cast",
+                  "dynamic_cast", "new", "delete", "noexcept", "throw"}
+
+
+def _func_header_start(masked: str, open_off: int) -> int:
+    return max(masked.rfind(";", 0, open_off),
+               masked.rfind("{", 0, open_off),
+               masked.rfind("}", 0, open_off)) + 1
+
+
+def _has_token(text: str, tokens: list[str]) -> bool:
+    return any(tok in text for tok in tokens)
+
+
+def extract_funcs(path: str, masked: str, scopes: list[Scope],
+                  guard_cfg: dict | None) -> list[FuncModel]:
+    """Function spans + guard sites + tracked node vars/derefs/calls."""
+    cfg = guard_cfg or {}
+    node_types = list(cfg.get("node_types", []))
+    lfrc_tokens = list(cfg.get("lfrc_tokens", []))
+    func_scopes = [s for s in scopes if s.kind == "func"]
+    funcs: list[FuncModel] = []
+    for s in func_scopes:
+        hstart = _func_header_start(masked, s.open_off)
+        first = re.search(r"\S", masked[hstart:s.open_off])
+        decl_off = hstart + first.start() if first else s.open_off
+        fn = FuncModel(name=s.name, path=path,
+                       line=line_of(masked, decl_off),
+                       open_line=line_of(masked, s.open_off),
+                       header_off=hstart, open_off=s.open_off,
+                       close_off=s.close_off)
+
+        # A guard protects until the close of the innermost brace scope
+        # containing its declaration.
+        spans, glines = [], []
+        for gm in GUARD_SITE_RE.finditer(masked, s.open_off, s.close_off):
+            off = gm.start()
+            cover_end = min((t.close_off for t in scopes
+                             if t.open_off < off <= t.close_off),
+                            default=s.close_off)
+            spans.append((off, cover_end))
+            glines.append(line_of(masked, off))
+        fn.guard_spans, fn.guard_lines = tuple(spans), tuple(glines)
+
+        span = masked[hstart:s.close_off]
+        base = hstart
+
+        def add_var(name: str, lfrc: bool) -> None:
+            # A var counts as LFRC-protected only if EVERY declaration
+            # that introduces it in this function is an LFRC acquisition.
+            fn.node_vars[name] = fn.node_vars.get(name, True) and lfrc
+
+        for nt in node_types:
+            decl_re = re.compile(
+                rf"\b(?:const\s+)?{nt}\s*\*\s*(?:const\s+)?"
+                r"([A-Za-z_]\w*)\s*(=|[,):;])")
+            for dm in decl_re.finditer(span):
+                if dm.group(2) == "=":
+                    semi = span.find(";", dm.end())
+                    init = span[dm.end():semi if semi >= 0 else len(span)]
+                    add_var(dm.group(1), _has_token(init, lfrc_tokens))
+                else:
+                    add_var(dm.group(1), False)
+        if node_types:
+            for dm in re.finditer(r"\bauto\s*\*\s*(?:const\s+)?"
+                                  r"([A-Za-z_]\w*)\s*=", span):
+                semi = span.find(";", dm.end())
+                init = span[dm.end():semi if semi >= 0 else len(span)]
+                if any(re.search(rf"\b{nt}\b", init) for nt in node_types):
+                    add_var(dm.group(1), _has_token(init, lfrc_tokens))
+
+        derefs: list[NodeDeref] = []
+        for name in fn.node_vars:
+            for dm in re.finditer(rf"\b{re.escape(name)}\b\s*->", span):
+                off = base + dm.start()
+                if off <= s.open_off:
+                    continue  # default-argument noise in the header
+                derefs.append(NodeDeref(name, off, line_of(masked, off)))
+        # Cast-expression derefs: static_cast<Node*>(p)->field
+        for nt in node_types:
+            cast_re = re.compile(
+                rf"\b(?:static_cast|reinterpret_cast)\s*<\s*(?:const\s+)?"
+                rf"{nt}\s*\*\s*>\s*\(")
+            for cm2 in cast_re.finditer(span):
+                args = balanced_args(span, cm2.end() - 1)
+                if args is None:
+                    continue
+                close = cm2.end() + len(args)  # offset of the `)`
+                if span[close + 1:close + 8].lstrip().startswith("->"):
+                    off = base + cm2.start()
+                    derefs.append(NodeDeref("", off, line_of(masked, off)))
+        fn.derefs = tuple(sorted(derefs, key=lambda d: d.off))
+
+        returns: list[NodeDeref] = []
+        for name in fn.node_vars:
+            for rm in re.finditer(rf"\breturn\s+{re.escape(name)}\s*;", span):
+                off = base + rm.start()
+                returns.append(NodeDeref(name, off, line_of(masked, off)))
+        fn.returns = tuple(sorted(returns, key=lambda d: d.off))
+
+        # Call sites in the body, excluding nested function scopes
+        # (lambdas) so each call is attributed exactly once.
+        nested = [t for t in func_scopes
+                  if t is not s and s.open_off < t.open_off
+                  and t.close_off <= s.close_off]
+        calls: list[tuple[str, int, int]] = []
+        for cm2 in re.finditer(r"\b([A-Za-z_]\w*)\s*\(",
+                               masked[s.open_off:s.close_off]):
+            off = s.open_off + cm2.start()
+            callee = cm2.group(1)
+            if callee in CONTROL_KEYWORDS or callee in _CAST_KEYWORDS:
+                continue
+            if any(t.open_off < off <= t.close_off for t in nested):
+                continue
+            calls.append((callee, off, line_of(masked, off)))
+        fn.calls = tuple(calls)
+        funcs.append(fn)
+    return funcs
+
+
+def attach_guard_annotations(path: str, comments: list[tuple[int, str]],
+                             code_lines: list[str],
+                             funcs: list[FuncModel]
+                             ) -> list[tuple[int, str]]:
+    """Attach DCD_REQUIRES_GUARD / DCD_GUARD_EXEMPT to their functions.
+
+    Returns malformed-annotation diagnostics (empty text, token that does
+    not parse, or an annotation that attaches to no function definition).
+    """
+    malformed: list[tuple[int, str]] = []
+
+    def func_at(line: int) -> FuncModel | None:
+        best = None
+        for fn in funcs:
+            if fn.line <= line <= fn.open_line:
+                if best is None or fn.header_off > best.header_off:
+                    best = fn
+        return best
+
+    for start, nlines, text, trailing in _joined_comment_blocks(comments,
+                                                                code_lines):
+        attach = start if trailing else _attach_line(code_lines, start,
+                                                     nlines)
+        hits: list[tuple[str, str, int]] = []
+        for m in REQUIRES_GUARD_RE.finditer(text):
+            hits.append(("requires", m.group(1), m.start()))
+        for m in GUARD_EXEMPT_RE.finditer(text):
+            hits.append(("exempt", m.group(1), m.start()))
+        # A known guard token that did not parse (missing parens, runaway
+        # text) must not vanish silently.
+        for raw, rex in (("DCD_REQUIRES_GUARD", REQUIRES_GUARD_RE),
+                         ("DCD_GUARD_EXEMPT", GUARD_EXEMPT_RE)):
+            for m in re.finditer(re.escape(raw) + r"\b", text):
+                if not any(pm.start() == m.start()
+                           for pm in rex.finditer(text)):
+                    malformed.append((start, f"{raw} does not match the "
+                                      f"grammar {raw}(<text>)"))
+        for kind, note, _ in hits:
+            token = ("DCD_REQUIRES_GUARD" if kind == "requires"
+                     else "DCD_GUARD_EXEMPT")
+            if not note:
+                malformed.append((start, f"{token} with empty justification"))
+                continue
+            fn = func_at(attach)
+            if fn is None:
+                malformed.append((start, f"{token} does not attach to a "
+                                  "function definition"))
+                continue
+            if kind == "requires":
+                fn.requires_guard = note
+            else:
+                fn.exempt = note
+    return malformed
+
+
 # --- per-file driver -------------------------------------------------------
 
 def build_file_model(path: str, text: str,
-                     progress_tokens: list[str]) -> tuple[FileModel,
-                                                          list[tuple[int, str]]]:
+                     progress_tokens: list[str],
+                     guard_cfg: dict | None = None
+                     ) -> tuple[FileModel, list[tuple[int, str]]]:
     """Parse one file; returns (model, malformed-annotation diagnostics)."""
     masked, comments = split_comments(text)
     scopes = build_scopes(masked)
     lines = text.splitlines()
-    model = FileModel(path=path, lines=lines)
+    model = FileModel(path=path, lines=lines, masked=masked, scopes=scopes)
     model.fields = extract_fields(path, masked, scopes)
     model.accesses = extract_accesses(path, masked,
                                       {f.name for f in model.fields})
@@ -740,6 +974,8 @@ def build_file_model(path: str, text: str,
     model.syncs, model.lps = syncs, lps
     model.loops = extract_loops(path, masked, model.cas_sites,
                                 progress_tokens, progress)
+    model.funcs = extract_funcs(path, masked, scopes, guard_cfg)
+    malformed += attach_guard_annotations(path, comments, lines, model.funcs)
     return model, malformed
 
 

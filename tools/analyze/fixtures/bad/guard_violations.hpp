@@ -1,0 +1,27 @@
+// Known-bad guard fixture: seeds exactly one finding per pass-5 rule.
+#pragma once
+
+struct BadDeque {
+  void peek() {
+    Node* n = head();
+    use(n->value);  // unguarded-node-deref: no scope dominates this
+  }
+
+  Node* grab() {
+    reclaim::EbrDomain::Guard guard(dom_);
+    Node* n = head();
+    use(n->value);
+    return n;  // guard-escape: the guard dies at return
+  }
+
+  void caller() {
+    fetch();  // unprotected-guarded-call: no scope, no own contract
+  }
+
+  // DCD_REQUIRES_GUARD(caller pins the domain for the returned pointer)
+  Node* fetch() {
+    Node* n = head();
+    use(n->value);
+    return n;
+  }
+};

@@ -1,0 +1,13 @@
+// Known-bad shared-plain fixture: one unlicensed plain access and one
+// struct-roster drift (plain member missing from the contracts row).
+#pragma once
+
+struct Box {
+  std::atomic<bool> lock{false};
+  int a = 0;
+  int b = 0;  // not in the roster: shared-plain-unknown-field
+};
+
+struct BadUser {
+  int steal(Box& x) { return x.a; }  // shared-plain-access: no licence
+};

@@ -1,0 +1,9 @@
+// Known-bad annotation fixture: a misspelled DCD_* token. Without the
+// unknown-annotation rule this typo would silently drop the caller
+// contract it was meant to declare.
+#pragma once
+
+struct TypoHolder {
+  // DCD_REQURES_GUARD(caller pins the domain)
+  Node* fetch() { return head(); }
+};

@@ -1,0 +1,33 @@
+// Known-good guard fixture: every pool-node deref is discharged by one
+// of the three licences pass 5 accepts — a dominating Guard scope, an
+// LFRC acquisition, or a declared caller contract. The
+// check_fixtures.py runner asserts this file analyzes clean.
+#pragma once
+
+struct GoodDeque {
+  void walk() {
+    reclaim::EbrDomain::Guard guard(dom_);
+    Node* n = head();
+    use(n->value);
+    fetch();  // rostered callee, covered by the guard above
+  }
+
+  // DCD_GUARD_EXEMPT(single-threaded teardown; no concurrent frees)
+  ~GoodDeque() {
+    Node* n = head();
+    use(n->value);
+  }
+
+  // DCD_REQUIRES_GUARD(caller pins the domain for the returned pointer)
+  Node* fetch() {
+    Node* n = head();
+    use(n->value);
+    return n;  // escape licensed by the caller contract
+  }
+
+  Node* acquire() {
+    Node* t = R::load(top_);  // LFRC acquisition: carries its own unit
+    use(t->value);
+    return t;
+  }
+};

@@ -1,0 +1,20 @@
+// Known-good shared-plain fixture: every plain access to the rostered
+// shared field happens either in a licensed owner function or in a
+// function that shows the claimed happens-before token.
+#pragma once
+
+struct Box {
+  std::atomic<bool> lock{false};
+  int a = 0;
+};
+
+struct GoodUser {
+  int owner_get(Box& x) { return x.a; }  // licensed owner function
+
+  void locked_put(Box& x) {
+    while (x.lock.exchange(true, std::memory_order_acquire)) {
+    }
+    x.a = 1;  // licensed by the lock token
+    x.lock.store(false, std::memory_order_release);
+  }
+};

@@ -1,9 +1,17 @@
-"""The four analysis passes over the cpp_model fact base.
+"""The six analysis passes over the cpp_model fact base.
 
 Pass 1  contract     memory-order contract audit per atomic field
 Pass 2  sync         sync-point completeness at every CAS/DCAS call site
 Pass 3  progress     retry-loop progress obligations (failure-path edges)
 Pass 4  lp           linearization-point proof map (DCD_LP coverage)
+Pass 5  guard        reclamation-safety: every pool-node deref dominated by
+                     a live guard / LFRC ref / caller-declared scope
+Pass 6  shared-plain plain (non-atomic) access to shared-reachable fields
+                     outside the happens-before licence contracts.toml claims
+
+Plus the annotation-roster check (`unknown-annotation`): a DCD_* token
+outside the known roster is a finding, so a typo in a load-bearing
+annotation cannot vanish silently.
 
 Each pass takes the parsed per-file models plus the contracts.toml config
 and returns Finding records. passes.py has no I/O besides reading the two
@@ -15,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import pathlib
+import re
 
 import cpp_model as cm
 
@@ -458,6 +467,265 @@ def run_lp_pass(models: list[cm.FileModel], cfg: dict, roster: set[str],
 
 
 # --------------------------------------------------------------------------
+# Pass 5: guard-scope reclamation safety
+# --------------------------------------------------------------------------
+#
+# The paper gives its algorithms "assuming garbage collection"; this repo
+# discharges that assumption with EBR/LFRC. Pass 5 makes the discharge
+# machine-checked: every dereference of a pool-allocated node must be
+# dominated (within its function) by a live protection scope — a declared
+# `Guard` object, an LFRC reference acquisition, or a caller-provided
+# scope declared with DCD_REQUIRES_GUARD and propagated through the call
+# graph. DCD_GUARD_EXEMPT(why) records the justified exceptions.
+
+def guard_roster(models: list[cm.FileModel],
+                 cfg: dict) -> dict[str, list[tuple[str, int, str]]]:
+    """Functions whose callers must hold a guard: name -> [(path, line,
+    note)]. Name-keyed on purpose: the roster is an interprocedural
+    contract on the call spelling, not on overload resolution."""
+    gcfg = cfg.get("guard", {})
+    scan_dirs = gcfg.get("scan_dirs", [])
+    roster: dict[str, list[tuple[str, int, str]]] = {}
+    for model in models:
+        if not _in_dirs(model.path, scan_dirs):
+            continue
+        for fn in model.funcs:
+            if fn.requires_guard is not None:
+                roster.setdefault(fn.name, []).append(
+                    (model.path, fn.line, fn.requires_guard))
+    return roster
+
+
+def run_guard_pass(models: list[cm.FileModel], cfg: dict) -> list[Finding]:
+    findings: list[Finding] = []
+    gcfg = cfg.get("guard", {})
+    if not gcfg.get("node_types"):
+        return findings
+    scan_dirs = gcfg.get("scan_dirs", [])
+    roster = guard_roster(models, cfg)
+
+    for model in models:
+        if not _in_dirs(model.path, scan_dirs):
+            continue
+        for fn in model.funcs:
+            if fn.exempt is not None:
+                continue
+
+            def covered(off: int) -> bool:
+                return (fn.requires_guard is not None
+                        or any(s < off <= e for s, e in fn.guard_spans))
+
+            for d in fn.derefs:
+                if d.var and fn.node_vars.get(d.var, False):
+                    continue  # LFRC acquisition carries its own protection
+                if not covered(d.off):
+                    what = (f"'{d.var}->'" if d.var
+                            else "a cast-expression deref")
+                    findings.append(Finding(
+                        "guard", "unguarded-node-deref", model.path, d.line,
+                        f"{what} in {fn.name}() dereferences a pool node "
+                        "with no live protection scope: no Guard dominates "
+                        "it, the value is not an LFRC acquisition, and the "
+                        "function declares no DCD_REQUIRES_GUARD",
+                        _snippet(model, d.line)))
+            for r in fn.returns:
+                if fn.node_vars.get(r.var, False):
+                    continue  # an LFRC reference may outlive the scope
+                if fn.requires_guard is None:
+                    findings.append(Finding(
+                        "guard", "guard-escape", model.path, r.line,
+                        f"{fn.name}() returns raw pool-node pointer "
+                        f"'{r.var}' beyond its guard scope; the protection "
+                        "dies at return — declare DCD_REQUIRES_GUARD so the "
+                        "caller's scope covers the escape, or hand out an "
+                        "LFRC reference",
+                        _snippet(model, r.line)))
+            for callee, off, line in fn.calls:
+                if callee in roster and not covered(off):
+                    decl = roster[callee][0]
+                    findings.append(Finding(
+                        "guard", "unprotected-guarded-call", model.path,
+                        line,
+                        f"{fn.name}() calls {callee}() — declared "
+                        f"DCD_REQUIRES_GUARD at {decl[0]}:{decl[1]} "
+                        f"({decl[2]}) — without a live guard at the call "
+                        "site and without declaring DCD_REQUIRES_GUARD "
+                        "itself",
+                        _snippet(model, line)))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Pass 6: shared-plain-access race screen
+# --------------------------------------------------------------------------
+#
+# Seeded from the [[shared.struct]] rows: plain (non-atomic) fields that
+# are reachable from more than one thread, each with the happens-before
+# licence the contracts table claims (owner functions, or a lock-protocol
+# token that must appear in the accessing function). A plain access
+# outside the licence is a static data-race screen — it catches what TSan
+# only finds on exercised interleavings. Struct-definition drift (a new
+# plain member, or a roster field that vanished) is a finding too.
+
+_MEMBER_SKIP_RE = re.compile(
+    r"^\s*(?:public|private|protected|using|friend|static|struct|class|"
+    r"enum|template|typedef)\b")
+_MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?[A-Za-z_][\w:<>,*&\s]*?[*&]?\s*"
+    r"([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;{}]*\})?;")
+
+
+def _plain_members(model: cm.FileModel, owner: str) -> dict[str, int]:
+    """Plain (non-atomic, non-function) data members of `owner`, parsed
+    from its definition in `model`; name -> line."""
+    m = re.search(rf"\b(?:struct|class)\s+(?:alignas\s*\([^)]*\)\s*)?"
+                  rf"{re.escape(owner)}\b[^;{{]*\{{",
+                  model.masked)
+    if m is None:
+        return {}
+    open_off = m.end() - 1
+    close_off = cm.matching_brace(model.masked, open_off)
+    if close_off is None:
+        return {}
+    body = model.masked[open_off + 1:close_off]
+    first_line = cm.line_of(model.masked, open_off)
+    members: dict[str, int] = {}
+    depth = 0
+    for i, raw in enumerate(body.split("\n")):
+        if depth == 0:
+            line = raw.strip()
+            if (line and "(" not in line and "atomic" not in raw
+                    and not _MEMBER_SKIP_RE.match(raw)):
+                dm = _MEMBER_DECL_RE.match(raw)
+                if dm:
+                    members[dm.group(1)] = first_line + i
+        depth += raw.count("{") - raw.count("}")
+    return members
+
+
+def run_shared_plain_pass(models: list[cm.FileModel],
+                          cfg: dict) -> list[Finding]:
+    findings: list[Finding] = []
+    scfg = cfg.get("shared", {})
+    scan_dirs = scfg.get("scan_dirs", [])
+    for row in scfg.get("struct", []):
+        owner = row["owner"]
+        dfile = row["file"]
+        fields = list(row.get("fields", []))
+        functions = set(row.get("functions", []))
+        tokens = list(row.get("tokens", []))
+
+        decl_model = next(
+            (m for m in models if m.path.endswith(dfile)), None)
+        if decl_model is None:
+            findings.append(Finding(
+                "shared-plain", "shared-plain-unknown-field",
+                dfile, 0,
+                f"[[shared.struct]] row for '{owner}' names file '{dfile}' "
+                "which is not in the scanned tree"))
+            continue
+        members = _plain_members(decl_model, owner)
+        if not members:
+            findings.append(Finding(
+                "shared-plain", "shared-plain-unknown-field",
+                decl_model.path, 0,
+                f"[[shared.struct]] row for '{owner}': no struct/class "
+                f"definition with plain members found in {dfile}"))
+            continue
+        for f in fields:
+            if f not in members:
+                findings.append(Finding(
+                    "shared-plain", "shared-plain-unknown-field",
+                    decl_model.path, 0,
+                    f"contracts.toml lists shared field '{owner}::{f}' but "
+                    f"the struct definition in {dfile} has no such plain "
+                    "member (renamed? made atomic? update the row)"))
+        for name, line in sorted(members.items(), key=lambda kv: kv[1]):
+            if name not in fields:
+                findings.append(Finding(
+                    "shared-plain", "shared-plain-unknown-field",
+                    decl_model.path, line,
+                    f"plain member '{owner}::{name}' is not in the "
+                    "[[shared.struct]] roster; every plain member of a "
+                    "shared struct needs a declared happens-before licence",
+                    _snippet(decl_model, line)))
+
+        if not fields:
+            continue
+        access_re = re.compile(
+            r"(?:\.|->)\s*(" + "|".join(re.escape(f) for f in fields)
+            + r")\b")
+        for model in models:
+            if not (_in_dirs(model.path, scan_dirs)
+                    and _file_match(model.path, dfile)):
+                continue
+            for am in access_re.finditer(model.masked):
+                fname = am.group(1)
+                fn = _innermost_func(model.funcs, am.start())
+                if fn is None:
+                    continue  # declaration/default-init, not an access
+                if fn.name in functions:
+                    continue
+                body = model.masked[fn.header_off:fn.close_off]
+                if tokens and any(tok in body for tok in tokens):
+                    continue
+                line = cm.line_of(model.masked, am.start())
+                findings.append(Finding(
+                    "shared-plain", "shared-plain-access", model.path, line,
+                    f"plain access to shared field '{owner}::{fname}' in "
+                    f"{fn.name}(), which is not a licensed owner function "
+                    f"({sorted(functions)}) and shows no claimed "
+                    f"happens-before token ({tokens}); the access races "
+                    "unless a lock/guard edge the contract does not know "
+                    "about protects it",
+                    _snippet(model, line)))
+    return findings
+
+
+def _innermost_func(funcs: list[cm.FuncModel],
+                    off: int) -> cm.FuncModel | None:
+    best = None
+    for fn in funcs:
+        if fn.open_off < off <= fn.close_off:
+            if best is None or fn.open_off > best.open_off:
+                best = fn
+    return best
+
+
+# --------------------------------------------------------------------------
+# Annotation roster: unknown DCD_* tokens
+# --------------------------------------------------------------------------
+
+_DCD_TOKEN_RE = re.compile(r"\bDCD_[A-Z][A-Z0-9_]*\b")
+
+
+def run_annotation_pass(models: list[cm.FileModel],
+                        cfg: dict) -> list[Finding]:
+    """Any DCD_* token (code or comment) outside the known roster is a
+    finding — typos in load-bearing annotations must not vanish."""
+    known = cfg.get("annotations", {}).get("known", [])
+    if not known:
+        return []
+    exact = {k for k in known if not k.endswith("*")}
+    prefixes = tuple(k[:-1] for k in known if k.endswith("*"))
+    findings: list[Finding] = []
+    for model in models:
+        for lineno, text in enumerate(model.lines, start=1):
+            for m in _DCD_TOKEN_RE.finditer(text):
+                tok = m.group(0)
+                if tok in exact or (prefixes and tok.startswith(prefixes)):
+                    continue
+                findings.append(Finding(
+                    "annotation", "unknown-annotation", model.path, lineno,
+                    f"'{tok}' is not in the known DCD_* annotation roster "
+                    f"({', '.join(sorted(known))}); a typo here silently "
+                    "disables the contract the annotation was meant to "
+                    "carry",
+                    _snippet(model, lineno)))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Proof-map emission
 # --------------------------------------------------------------------------
 
@@ -536,5 +804,96 @@ def emit_proof_map(models: list[cm.FileModel], cfg: dict,
     out.append("|---|---|")
     for c in sorted(covered):
         out.append(f"| `{c}` | {covered[c]} |")
+    out.append("")
+    return "\n".join(out)
+
+
+# --------------------------------------------------------------------------
+# Guard-map emission
+# --------------------------------------------------------------------------
+
+def emit_guard_map(models: list[cm.FileModel], cfg: dict) -> str:
+    """Render docs/GUARD_MAP.md: per-function guard obligations and their
+    discharge sites, drift-gated like PROOF_MAP.md."""
+    gcfg = cfg.get("guard", {})
+    scan_dirs = gcfg.get("scan_dirs", [])
+    roster = guard_roster(models, cfg)
+
+    out = []
+    out.append("# Guard-scope reclamation map")
+    out.append("")
+    out.append("<!-- GENERATED FILE — do not edit by hand. -->")
+    out.append("<!-- Regenerate: python3 tools/analyze/analyze.py"
+               " --emit-guard-map docs/GUARD_MAP.md -->")
+    out.append("")
+    out.append("The paper assumes garbage collection; this repo discharges")
+    out.append("that assumption with EBR guards and LFRC references, and")
+    out.append("pass 5 (`guard`, docs/STATIC_ANALYSIS.md §4) checks the")
+    out.append("discharge statically. Each row below is one function that")
+    out.append("touches pool-allocated nodes: its **obligation** (how the")
+    out.append("node stays reclamation-safe) and its **discharge** (the")
+    out.append("guard declaration, the caller contract, or the recorded")
+    out.append("exemption). Derefs/calls count the sites pass 5 verified.")
+    out.append("")
+    n_req = n_exempt = n_local = 0
+    for model in sorted(models, key=lambda m: m.path):
+        if not _in_dirs(model.path, scan_dirs):
+            continue
+        rows = []
+        for fn in sorted(model.funcs, key=lambda f: f.line):
+            interesting = (fn.requires_guard is not None
+                           or fn.exempt is not None
+                           or fn.guard_spans
+                           or fn.derefs
+                           or any(c[0] in roster for c in fn.calls))
+            if not interesting:
+                continue
+            if fn.requires_guard is not None:
+                obligation = "caller-provided guard"
+                discharge = f"`DCD_REQUIRES_GUARD` — {fn.requires_guard}"
+                n_req += 1
+            elif fn.exempt is not None:
+                obligation = "exempt"
+                discharge = f"`DCD_GUARD_EXEMPT` — {fn.exempt}"
+                n_exempt += 1
+            elif fn.guard_spans:
+                obligation = "local guard scope"
+                discharge = ("Guard at l." +
+                             ", l.".join(str(ln) for ln in fn.guard_lines))
+                n_local += 1
+            else:
+                obligation = "LFRC reference"
+                discharge = "acquired reference carries its own protection"
+            guarded_calls = sorted({c[0] for c in fn.calls
+                                    if c[0] in roster})
+            rows.append((fn, obligation, discharge, guarded_calls))
+        if not rows:
+            continue
+        out.append(f"## `{model.path}`")
+        out.append("")
+        out.append("| Function | Obligation | Discharge | Node derefs |"
+                   " Guarded callees |")
+        out.append("|---|---|---|---|---|")
+        for fn, obligation, discharge, guarded_calls in rows:
+            callees = (", ".join(f"`{c}`" for c in guarded_calls)
+                       if guarded_calls else "—")
+            out.append(f"| `{fn.name}` (l.{fn.line}) | {obligation} "
+                       f"| {discharge} | {len(fn.derefs)} | {callees} |")
+        out.append("")
+    out.append("## Caller-contract roster")
+    out.append("")
+    out.append("Functions a caller may only invoke while holding a live")
+    out.append("protection scope (pass 5 flags any unprotected call):")
+    out.append("")
+    out.append("| Function | Declared at | Contract note |")
+    out.append("|---|---|---|")
+    for name in sorted(roster):
+        for path, line, note in roster[name]:
+            out.append(f"| `{name}` "
+                       f"| `{pathlib.PurePosixPath(path).name}:{line}` "
+                       f"| {note} |")
+    out.append("")
+    out.append(f"{n_req} caller-contract functions, {n_local} with local "
+               f"guard scopes, {n_exempt} recorded exemptions.")
     out.append("")
     return "\n".join(out)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Single entry point for the repo's static-analysis gate.
+
+Runs, in order, every python-side check CI's `analyze` job and the
+ctest `analyze-all` target need:
+
+  1. shared suppression-module self-test (tools/pylib/suppressions.py)
+  2. atomics-audit self-test + strict tree run (tools/lint)
+  3. analyzer self-test + strict tree run, passes 1-6 (tools/analyze)
+  4. proof-map drift gate (docs/PROOF_MAP.md vs DCD_LP annotations)
+  5. guard-map drift gate (docs/GUARD_MAP.md vs guard annotations)
+  6. fixture corpus for passes 5/6 + annotation roster
+
+Any failing step fails the run; every step is executed regardless so a
+single invocation reports the whole gate's state. Exit 0 iff all pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parents[1]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path, default=REPO,
+                    help="repository root (default: this checkout)")
+    ap.add_argument("--build-dir", type=pathlib.Path, default=None,
+                    help="build dir with compile_commands.json for the "
+                         "clang cross-check (optional)")
+    args = ap.parse_args()
+    root = args.root.resolve()
+    py = sys.executable
+
+    analyze = [py, str(HERE / "analyze.py")]
+    tree = analyze + ["--root", str(root)]
+    if args.build_dir is not None:
+        tree += ["--build-dir", str(args.build_dir)]
+
+    steps: list[tuple[str, list[str]]] = [
+        ("suppressions self-test",
+         [py, str(root / "tools/pylib/suppressions.py"), "--self-test"]),
+        ("atomics audit self-test",
+         [py, str(root / "tools/lint/atomics_audit.py"), "--self-test"]),
+        ("atomics audit strict",
+         [py, str(root / "tools/lint/atomics_audit.py"),
+          "--root", str(root), "--strict"]),
+        ("analyzer self-test", analyze + ["--self-test"]),
+        ("analyzer strict", tree + ["--strict"]),
+        ("proof-map drift",
+         tree + ["--check-proof-map", str(root / "docs/PROOF_MAP.md")]),
+        ("guard-map drift",
+         tree + ["--check-guard-map", str(root / "docs/GUARD_MAP.md")]),
+        ("guard/shared fixtures",
+         [py, str(HERE / "check_fixtures.py")]),
+    ]
+
+    failed: list[str] = []
+    for name, cmd in steps:
+        print(f"=== run_all: {name} ===", flush=True)
+        if subprocess.run(cmd, cwd=root).returncode != 0:
+            failed.append(name)
+    if failed:
+        print(f"run_all: FAILED ({', '.join(failed)})", file=sys.stderr)
+        return 1
+    print(f"run_all: OK ({len(steps)} steps)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

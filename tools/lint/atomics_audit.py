@@ -35,6 +35,10 @@ import pathlib
 import re
 import sys
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "pylib"))
+
+import suppressions as sup  # noqa: E402  (path set up above)
+
 # --- configuration ---------------------------------------------------------
 
 SOURCE_EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
@@ -109,21 +113,12 @@ class Finding:
                 f"    {self.line_text.strip()}")
 
 
-@dataclasses.dataclass
-class Suppression:
-    path_suffix: str
-    rule: str
-    substring: str
-    justification: str
-    source_line: int
-    used: bool = False
-
-    def matches(self, f: Finding) -> bool:
-        if not (f.path.endswith(self.path_suffix) and f.rule == self.rule):
-            return False
-        # `*` suppresses the rule for the whole file (for files whose very
-        # purpose is the flagged pattern, e.g. the compile-time audit layer).
-        return self.substring == "*" or self.substring in f.line_text
+# Shared with tools/analyze (tools/pylib/suppressions.py). The lint keeps
+# its stricter semantics: no path/rule wildcards, substrings match the
+# finding's source line. `*` as the substring still suppresses the rule
+# for the whole file (for files whose very purpose is the flagged
+# pattern, e.g. the compile-time audit layer).
+Suppression = sup.Suppression
 
 
 # --- source masking --------------------------------------------------------
@@ -388,45 +383,13 @@ def parse_suppressions(text: str, origin: str) -> list[Suppression]:
     Blank lines and lines starting with # are comments. A suppression
     without a justification is a configuration error (exit 2).
     """
-    sups = []
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        matcher, sep, justification = line.partition("#")
-        justification = justification.strip()
-        if not sep or not justification:
-            config_error(
-                f"{origin}:{lineno}: suppression lacks a justification "
-                "(append `# <one-line reason>`)")
-        # Split only on whitespace-flanked colons so substrings may contain
-        # C++ scope operators (`dcas::kPayloadShift`).
-        parts = [p.strip() for p in re.split(r"\s+:\s+", matcher.strip(),
-                                             maxsplit=2)]
-        if len(parts) != 3 or not all(parts):
-            config_error(
-                f"{origin}:{lineno}: expected `<path-suffix> : <rule> : "
-                f"<substring>  # <reason>`, got: {line}")
-        path_suffix, rule, substring = parts
-        if rule not in RULE_IDS:
-            config_error(
-                f"{origin}:{lineno}: unknown rule id '{rule}' "
-                f"(known: {', '.join(RULE_IDS)})")
-        sups.append(Suppression(path_suffix, rule, substring, justification,
-                                lineno))
-    return sups
+    return sup.parse(text, origin, RULE_IDS, on_error=config_error)
 
 
 def apply_suppressions(findings: list[Finding],
                        sups: list[Suppression]) -> list[Finding]:
-    remaining = []
-    for f in findings:
-        hit = next((s for s in sups if s.matches(f)), None)
-        if hit is not None:
-            hit.used = True
-        else:
-            remaining.append(f)
-    return remaining
+    return sup.apply(findings, sups,
+                     lambda f: (f.path, f.rule, (f.line_text,)))
 
 
 # --- driver ----------------------------------------------------------------
