@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Promote a CI-recorded benchmark artifact to a committed baseline.
+
+Usage:
+    scripts/promote_baseline.py CANDIDATE.json            # validate + write
+    scripts/promote_baseline.py --check-only CANDIDATE.json
+    scripts/promote_baseline.py --self-test
+
+The committed BENCH_*.json trajectory files arm scripts/bench_compare.py's
+regression gate — but only an HONEST artifact may become a baseline: one
+the recording side would not have refused. This container (and any
+single-core dev box) cannot produce such an artifact, because
+bench_to_json.py refuses debug builds and <2-CPU context outright. The
+honest path is therefore:
+
+  1. the CI `perf` job (RelWithDebInfo, multi-core runner) records
+     /tmp/BENCH_*.json and uploads them as the `bench-artifacts` artifact;
+  2. the same job runs this script with --check-only, so every upload is
+     proven promotable at record time;
+  3. a maintainer downloads the artifact from a green run on main and runs
+     this script on it locally; it re-validates and copies the file over
+     the matching committed BENCH_*.json at the repo root, which is then
+     committed — arming the >5% throughput / >25% p99 thresholds for
+     every PR after it.
+
+Promotability, beyond the schema-2 shape bench_to_json.validate_artifact
+pins:
+
+  * not stamped smoke_only (smoke numbers prove wiring, not speed);
+  * optimized build: context.library_build_type == "release", and the
+    binary's own dcd build stamp (context.build_type) not "debug";
+  * context.num_cpus >= 2 (contention sweeps need real parallelism);
+  * every row of the matching committed baseline still present, so the
+    compare gate's row set never silently shrinks on promotion (the
+    committed file is matched by the artifact's `binary` field).
+
+Exit status: 0 = promotable (and written, unless --check-only),
+1 = refused (all reasons listed), 2 = bad invocation/missing files.
+"""
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_to_json  # noqa: E402  (shared schema + validation)
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def check_candidate(doc: dict, path: str,
+                    baseline: dict | None) -> list[str]:
+    """All promotability violations (empty list == promotable)."""
+    reasons: list[str] = []
+    try:
+        bench_to_json.validate_artifact(doc, path)
+    except bench_to_json.BenchError as e:
+        return [str(e)]
+    ctx = doc.get("context", {})
+    if doc.get("smoke_only"):
+        reasons.append("stamped smoke_only: wiring proof, not a baseline")
+    lbt = ctx.get("library_build_type")
+    if lbt != "release":
+        reasons.append(f"library_build_type is {lbt!r}, need 'release'")
+    dbt = ctx.get("build_type")
+    if dbt == "debug":
+        reasons.append("binary's dcd build stamp says debug (NDEBUG unset "
+                       "in the code under test)")
+    ncpu = ctx.get("num_cpus")
+    if not isinstance(ncpu, int) or ncpu < 2:
+        reasons.append(f"num_cpus is {ncpu!r}; contention sweeps need a "
+                       "multi-core recording host")
+    if baseline is not None:
+        have = {r.get("name") for r in doc.get("benchmarks", [])}
+        missing = sorted(
+            {r.get("name") for r in baseline.get("benchmarks", [])} - have)
+        if missing:
+            reasons.append(
+                "rows tracked by the committed baseline are absent from "
+                f"the candidate ({len(missing)}): " + ", ".join(missing))
+    return reasons
+
+
+def find_committed(doc: dict) -> pathlib.Path | None:
+    """The committed BENCH_*.json recording the same binary, if any."""
+    for p in sorted(REPO.glob("BENCH_*.json")):
+        try:
+            with open(p) as f:
+                committed = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if committed.get("binary") == doc.get("binary"):
+            return p
+    return None
+
+
+def self_test() -> int:
+    def artifact(**over):
+        doc = {
+            "schema": 2, "binary": "bench_e2_two_ends",
+            "smoke_only": False, "date": "2026-08-09T00:00:00Z",
+            "label": "seeded",
+            "context": {"num_cpus": 4, "mhz_per_cpu": 2100,
+                        "library_build_type": "release",
+                        "build_type": "release", "compiler": "gcc",
+                        "cpu_affinity": "pthread_setaffinity_np",
+                        "git_sha": "abc"},
+            "benchmarks": [{
+                "name": "E2_SameEnd/x/real_time/threads:2", "threads": 2,
+                "real_time_ns": 10.0, "cpu_time_ns": 10.0, "iterations": 3,
+                "aggregate": "median", "items_per_second": 1e6}],
+        }
+        ctx_over = over.pop("context", {})
+        doc.update(over)
+        doc["context"].update(ctx_over)
+        return doc
+
+    failures = []
+    cases = [
+        ("honest artifact", artifact(), None, 0),
+        ("smoke-only refused", artifact(smoke_only=True), None, 1),
+        ("debug library refused",
+         artifact(context={"library_build_type": "debug"}), None, 1),
+        ("debug dcd stamp refused",
+         artifact(context={"build_type": "debug"}), None, 1),
+        ("single-cpu refused", artifact(context={"num_cpus": 1}), None, 1),
+        ("row coverage kept", artifact(), artifact(), 0),
+        ("shrunken row set refused", artifact(),
+         artifact(benchmarks=artifact()["benchmarks"] + [{
+             "name": "E2_Gone/x/threads:4", "threads": 4,
+             "real_time_ns": 1.0, "cpu_time_ns": 1.0, "iterations": 3,
+             "aggregate": "median"}]), 1),
+        ("schema drift refused", artifact(schema=1), None, 1),
+    ]
+    for name, cand, base, want in cases:
+        got = 0 if not check_candidate(cand, f"<{name}>", base) else 1
+        if got != want:
+            failures.append(f"{name}: expected exit {want}, got {got}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"self-test OK ({len(cases)} seeded cases)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[1], usage=__doc__.splitlines()[3])
+    ap.add_argument("candidate", nargs="?", help="CI-recorded artifact")
+    ap.add_argument("--check-only", action="store_true",
+                    help="validate promotability without writing anything")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.candidate:
+        ap.error("candidate artifact required (or --self-test)")
+
+    try:
+        with open(args.candidate) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"promote_baseline: {args.candidate}: {e}", file=sys.stderr)
+        return 2
+
+    dest = find_committed(doc) if isinstance(doc, dict) else None
+    baseline = None
+    if dest is not None:
+        with open(dest) as f:
+            baseline = json.load(f)
+
+    reasons = check_candidate(doc, args.candidate, baseline)
+    if reasons:
+        print(f"promote_baseline: REFUSED {args.candidate}:",
+              file=sys.stderr)
+        for r in reasons:
+            print(f"  - {r}", file=sys.stderr)
+        return 1
+
+    if args.check_only:
+        where = dest.name if dest else "<new baseline file>"
+        print(f"promote_baseline: {args.candidate} is promotable "
+              f"(would update {where})")
+        return 0
+    if dest is None:
+        print(f"promote_baseline: no committed BENCH_*.json records "
+              f"binary {doc.get('binary')!r}; copy the artifact to the "
+              "repo root by hand to start a new trajectory",
+              file=sys.stderr)
+        return 2
+    with open(dest, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"promote_baseline: wrote {dest} — commit it to arm "
+          "bench_compare's thresholds against this recording")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

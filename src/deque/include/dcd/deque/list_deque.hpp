@@ -125,6 +125,7 @@ class ListDeque {
       const std::uint64_t old_lr = ptr(&sr_, false);     // lines 14-15
       // DCD_SYNC(dcas.any)
       // DCD_LP(Fig13:16-17, dcas.any, inv=list.reachable+list.backlinks+list.value_payload, "SR->L and neighbor->R swing to the new node in one step, publishing it")
+      // DCD_PUBLISHES(dcas.any, right+left+value)
       if (Dcas::dcas(sr_.left, left_neighbor->right, old_l, old_lr,
                      ptr(node, false), ptr(node, false))) {  // lines 16-17
         return PushResult::kOkay;                        // line 18
@@ -162,6 +163,7 @@ class ListDeque {
       const std::uint64_t old_rl = ptr(&sl_, false);
       // DCD_SYNC(dcas.any)
       // DCD_LP(Fig33:16-17, dcas.any, inv=list.reachable+list.backlinks+list.value_payload, "SL->R and neighbor->L swing to the new node in one step, publishing it")
+      // DCD_PUBLISHES(dcas.any, left+right+value)
       if (Dcas::dcas(sl_.right, right_neighbor->left, old_r, old_rl,
                      ptr(node, false), ptr(node, false))) {
         return PushResult::kOkay;

@@ -110,6 +110,7 @@ class ListDequeDummy {
       Dcas::store_init(node->value, Codec::encode(v));
       // DCD_SYNC(dcas.any)
       // DCD_LP(Fig13:16-17, dcas.any, inv=list.reachable+list.backlinks+list.value_payload, "SR->L and neighbor->R swing to the new node in one step, publishing it")
+      // DCD_PUBLISHES(dcas.any, right+left+value)
       if (Dcas::dcas(sr_.left, neighbor->right, old_l, ptr(&sr_), ptr(node),
                      ptr(node))) {
         return PushResult::kOkay;
@@ -135,6 +136,7 @@ class ListDequeDummy {
       Dcas::store_init(node->value, Codec::encode(v));
       // DCD_SYNC(dcas.any)
       // DCD_LP(Fig33:16-17, dcas.any, inv=list.reachable+list.backlinks+list.value_payload, "SL->R and neighbor->L swing to the new node in one step, publishing it")
+      // DCD_PUBLISHES(dcas.any, left+right+value)
       if (Dcas::dcas(sl_.right, neighbor->left, old_r, ptr(&sl_), ptr(node),
                      ptr(node))) {
         return PushResult::kOkay;
@@ -179,6 +181,7 @@ class ListDequeDummy {
         Dcas::store_init(dummy->right, 0);
         // DCD_SYNC(pop.commit)
         // DCD_LP(Fig11:16-17, pop.commit, inv=list.interior_deleted+list.null_licensing+list.value_payload, "SR->L swings to the dummy (the deleted-bit stand-in) while the value is nulled, claiming it")
+        // DCD_PUBLISHES(pop.commit, value+left+right)
         if (Dcas::dcas(sr_.left, pointee->value, old_l, pv, ptr(dummy),
                        dcas::kNull)) {
           return Codec::decode(pv);
@@ -223,6 +226,7 @@ class ListDequeDummy {
         Dcas::store_init(dummy->right, 0);
         // DCD_SYNC(pop.commit)
         // DCD_LP(Fig32:16-17, pop.commit, inv=list.interior_deleted+list.null_licensing+list.value_payload, "SL->R swings to the dummy (the deleted-bit stand-in) while the value is nulled, claiming it")
+        // DCD_PUBLISHES(pop.commit, value+left+right)
         if (Dcas::dcas(sl_.right, pointee->value, old_r, pv, ptr(dummy),
                        dcas::kNull)) {
           return Codec::decode(pv);

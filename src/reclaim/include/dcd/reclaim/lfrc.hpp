@@ -208,6 +208,7 @@ class LfrcStack {
     for (;;) {
       Node* t = R::load(top_);          // local unit on current top
       R::store_private(n->next, t);     // transfer it into n->next
+      // DCD_PUBLISHES(allocator-internal, rc+next+owner+value)
       if (R::cas(top_, t, n)) {         // slot: -t +n
         R::destroy(n);                  // drop our local unit on n
         return true;

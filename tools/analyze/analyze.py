@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """AST-grade concurrency analyzer for the DCAS deque tree.
 
-Six passes over src/ (see passes.py and tools/analyze/README.md):
+Eight passes over src/ (see passes.py and tools/analyze/README.md):
 
   contract     every atomic access checked against the per-field
                memory-order contract table in contracts.toml (pairing,
@@ -25,6 +25,16 @@ Six passes over src/ (see passes.py and tools/analyze/README.md):
   shared-plain plain (non-atomic) accesses to the shared-reachable fields
                rostered in [[shared.struct]] must show the claimed
                happens-before licence (owner function or lock token)
+  publication  pool nodes stay thread-private from allocation through
+               plain field init to the publishing CAS/DCAS; the escape is
+               licensed by DCD_PUBLISHES(point, fields), validated against
+               the sync roster and the [[publication.node]] field roster,
+               and rendered into docs/PUBLICATION_MAP.md
+  codec        raw bit arithmetic on values loaded from / stored to
+               contracted atomic words must live in the [codec]-rostered
+               helpers, which are cross-checked against the compile-time
+               tag-disjointness audit and the property tests their roster
+               rows name
 
 Plus the annotation roster check: any DCD_* token outside the known set
 ([annotations] in contracts.toml) is an `unknown-annotation` finding.
@@ -83,6 +93,11 @@ RULE_IDS = (
     "unguarded-node-deref", "guard-escape", "unprotected-guarded-call",
     # pass 6: shared-plain
     "shared-plain-access", "shared-plain-unknown-field",
+    # pass 7: publication
+    "unannotated-publication", "unpublished-field",
+    "post-publication-plain-write", "publishes-mismatch",
+    # pass 8: codec
+    "raw-word-arithmetic", "codec-drift",
     # cross-cutting
     "unknown-annotation", "malformed-annotation", "frontend-divergence",
 )
@@ -126,7 +141,8 @@ def load_config(path: pathlib.Path) -> dict:
 
 def scan_dir_union(cfg: dict) -> list[str]:
     dirs: list[str] = []
-    for section in ("contract", "sync", "progress", "lp", "guard", "shared"):
+    for section in ("contract", "sync", "progress", "lp", "guard", "shared",
+                    "publication", "codec"):
         for d in cfg.get(section, {}).get("scan_dirs", []):
             if d not in dirs:
                 dirs.append(d)
@@ -178,8 +194,25 @@ def load_rosters(root: pathlib.Path,
     return roster, clauses
 
 
+def load_codec_aux(root: pathlib.Path, cfg: dict) -> dict[str, str]:
+    """Read the test files the [[codec.helper]] rows cross-reference.
+
+    Missing files stay absent from the dict; pass 8 reports them as
+    codec-drift rather than erroring out."""
+    aux: dict[str, str] = {}
+    for row in cfg.get("codec", {}).get("helper", []):
+        tested_by = row.get("tested_by", "")
+        if tested_by and tested_by not in aux:
+            p = root / tested_by
+            if p.is_file():
+                aux[tested_by] = p.read_text()
+    return aux
+
+
 def run_all_passes(models: list[cm.FileModel], cfg: dict, roster: set[str],
-                   clauses: set[str]) -> list[passes.Finding]:
+                   clauses: set[str],
+                   codec_aux: dict[str, str] | None = None
+                   ) -> list[passes.Finding]:
     findings: list[passes.Finding] = []
     findings += passes.run_contract_pass(models, cfg)
     findings += passes.run_sync_pass(models, cfg, roster)
@@ -187,6 +220,8 @@ def run_all_passes(models: list[cm.FileModel], cfg: dict, roster: set[str],
     findings += passes.run_lp_pass(models, cfg, roster, clauses)
     findings += passes.run_guard_pass(models, cfg)
     findings += passes.run_shared_plain_pass(models, cfg)
+    findings += passes.run_publication_pass(models, cfg, roster)
+    findings += passes.run_codec_pass(models, cfg, codec_aux)
     findings += passes.run_annotation_pass(models, cfg)
     return findings
 
@@ -206,7 +241,9 @@ def run_analysis(args) -> int:
     cfg = load_config(args.contracts)
     roster, clauses = load_rosters(root, cfg)
     models, malformed = build_models(root, cfg)
-    findings = malformed + run_all_passes(models, cfg, roster, clauses)
+    codec_aux = load_codec_aux(root, cfg)
+    findings = malformed + run_all_passes(models, cfg, roster, clauses,
+                                          codec_aux)
 
     if args.frontend in ("auto", "clang"):
         divergences, notes = clang_frontend.cross_check(
@@ -279,6 +316,20 @@ def run_analysis(args) -> int:
                 print(f"analyze: {target} is stale; regenerate with "
                       "`python3 tools/analyze/analyze.py --emit-guard-map "
                       f"{target}`", file=sys.stderr)
+                return 1
+
+    if args.emit_publication_map or args.check_publication_map:
+        text = passes.emit_publication_map(models, cfg)
+        target = args.emit_publication_map or args.check_publication_map
+        if args.emit_publication_map:
+            target.write_text(text)
+            print(f"analyze: wrote {target}", file=sys.stderr)
+        else:
+            on_disk = target.read_text() if target.is_file() else ""
+            if on_disk != text:
+                print(f"analyze: {target} is stale; regenerate with "
+                      "`python3 tools/analyze/analyze.py "
+                      f"--emit-publication-map {target}`", file=sys.stderr)
                 return 1
 
     if args.verbose or findings:
@@ -490,6 +541,116 @@ SHARED_BAD_SRC = (
     "};\n")
 
 
+# Passes 7/8 likewise get their own scoped configs: the publication cases
+# exercise the allocation->init->publish flow, the codec cases the
+# tainted-value / store-argument bit-op screens and the roster drift gate.
+PUB_TEST_CONFIG = {
+    "sync": {"pseudo": {"policy-internal": "seeded"}},
+    "publication": {
+        "scan_dirs": ["src/pub"],
+        "alloc_tokens": ["allocate_node("],
+        "publish_tokens": ["Dcas::dcas(", "Dcas::cas("],
+        "node": [
+            {"type": "Node", "file": "pub_bad.hpp",
+             "fields": ["left", "right", "value"], "why": "seeded"},
+            {"type": "Node", "file": "pub_clean.hpp",
+             "fields": ["left", "right", "value"], "why": "seeded"},
+        ],
+    },
+}
+
+PUB_BAD_SRC = (
+    "struct D {\n"
+    "  void push_a(W& w) {\n"
+    "    Node* n = allocate_node();\n"
+    "    store_init(n->left, l);\n"
+    "    Dcas::dcas(w.a, w.b, o1, o2, ptr(n), ptr(n));\n"  # unannotated
+    "  }\n"
+    "  void push_b(W& w) {\n"
+    "    Node* n = allocate_node();\n"
+    "    store_init(n->left, l);\n"
+    "    // DCD_PUBLISHES(dcas.any, left+right)\n"
+    "    Dcas::dcas(w.a, w.b, o1, o2, ptr(n), ptr(n));\n"  # value unwritten
+    "    n->value = v;\n"                        # post-publication write
+    "  }\n"
+    "  void push_c(W& w) {\n"
+    "    Node* n = allocate_node();\n"
+    "    store_init(n->left, l);\n"
+    "    store_init(n->right, r);\n"
+    "    store_init(n->value, v);\n"
+    "    // DCD_PUBLISHES(bogus.point, left+right+value)\n"
+    "    Dcas::cas(w.a, o1, ptr(n));\n"          # unknown escape point
+    "  }\n"
+    "};\n")
+
+PUB_CLEAN_SRC = (
+    "struct D {\n"
+    "  void push(W& w) {\n"
+    "    for (;;) {\n"
+    "      Node* n = allocate_node();\n"
+    "      store_init(n->left, l);\n"
+    "      store_init(n->right, r);\n"
+    "      init_value(n);\n"                     # vouched, not observed
+    "      // DCD_PUBLISHES(dcas.any, left+right+value)\n"
+    "      if (Dcas::dcas(w.a, w.b, o1, o2, ptr(n), ptr(n))) return;\n"
+    "    }\n"
+    "  }\n"
+    "};\n")
+
+CODEC_TEST_CONFIG = {
+    "codec": {
+        "scan_dirs": ["src/codec"],
+        "load_tokens": ["Dcas::load("],
+        "store_tokens": ["store_init("],
+        "layout": "src/codec/word_seed.hpp",
+        "payload_shift": 3,
+        "audit": "src/codec/word_seed.hpp",
+        "audit_needles": ["kMaxPayload == (~0ull >> kPayloadShift)"],
+        "helper": [
+            {"file": "word_seed.hpp",
+             "functions": ["encode_payload", "decode_payload"],
+             "tested_by": "tests/seed_test.cpp",
+             "tested_tokens": ["encode_payload"], "why": "seeded"},
+            {"file": "word_seed.hpp", "functions": ["ghost_helper"],
+             "why": "seeded drift: helper vanished from the tree"},
+        ],
+    },
+}
+
+CODEC_SEED_SRC = (
+    "inline constexpr std::uint64_t kPayloadShift = 3;\n"
+    "static_assert(kMaxPayload == (~0ull >> kPayloadShift));\n"
+    "constexpr std::uint64_t encode_payload(std::uint64_t p) noexcept {\n"
+    "  return p << kPayloadShift;\n"
+    "}\n"
+    "constexpr std::uint64_t decode_payload(std::uint64_t w) noexcept {\n"
+    "  return w >> kPayloadShift;\n"
+    "}\n")
+
+CODEC_BAD_SRC = (
+    "struct D {\n"
+    "  bool f(W& w) {\n"
+    "    const std::uint64_t v = Dcas::load(w.a);\n"
+    "    if ((v & kDeletedBit) != 0) return true;\n"   # tainted bit-and
+    "    store_init(w.b, x | kDeletedBit);\n"          # store-arg bit-or
+    "    return false;\n"
+    "  }\n"
+    "};\n")
+
+CODEC_CLEAN_SRC = (
+    "struct D {\n"
+    "  bool g(W& w) {\n"
+    "    const std::uint64_t v = Dcas::load(w.a);\n"
+    "    if (is_deleted(v)) return true;\n"
+    "    store_init(w.b, encode_payload(p));\n"
+    "    return false;\n"
+    "  }\n"
+    "};\n")
+
+CODEC_AUX = {"tests/seed_test.cpp":
+             "TEST(Seed, RoundTrip) { encode_payload(1); }\n"}
+
+
 def self_test() -> int:
     failures = []
     for path, source, expected in SELF_TEST_CASES:
@@ -619,13 +780,77 @@ def self_test() -> int:
     if not gbad1 or not gbad2:
         failures.append("malformed guard annotation not reported")
 
+    # Pass 7: the seeded file walks one violation per publication rule —
+    # an unannotated escape, an unwritten rostered field, a plain write
+    # after the publishing DCAS, and an escape point outside the roster.
+    pbad_model, pbad_ann = cm.build_file_model(
+        "src/pub/pub_bad.hpp", PUB_BAD_SRC, [])
+    pclean_model, pclean_ann = cm.build_file_model(
+        "src/pub/pub_clean.hpp", PUB_CLEAN_SRC, [])
+    pub_findings = passes.run_publication_pass(
+        [pbad_model, pclean_model], PUB_TEST_CONFIG, SELF_TEST_ROSTER)
+    got = sorted(f.rule for f in pub_findings)
+    want = ["post-publication-plain-write", "publishes-mismatch",
+            "unannotated-publication", "unpublished-field"]
+    if got != want or pbad_ann:
+        failures.append(f"publication seeded case: expected {want}, "
+                        f"got {got}")
+    pf = [f for f in pub_findings if f.path.endswith("pub_clean.hpp")]
+    if pf or pclean_ann:
+        failures.append("publication-clean seeded file produced findings: "
+                        + "; ".join(f.rule for f in pf))
+
+    # The publication map renders verified and vouched fields distinctly.
+    pmap = passes.emit_publication_map([pclean_model], PUB_TEST_CONFIG)
+    for needle in ("(vouched)", "✓ l.", "1 publishing stores",
+                   "dcas.any"):
+        if needle not in pmap:
+            failures.append(f"publication map missing '{needle}'")
+
+    # A malformed DCD_PUBLISHES is reported, not silently ignored.
+    _, bad = cm.build_file_model(
+        "src/pub/malformed.hpp",
+        "// DCD_PUBLISHES(dcas.any)\nbool f();\n", [])
+    if not bad:
+        failures.append("malformed DCD_PUBLISHES not reported")
+
+    # Pass 8: a tainted bit-and, a raw store-argument bit-or, and a
+    # rostered helper that vanished from the tree (codec-drift).
+    cseed_model, _ = cm.build_file_model(
+        "src/codec/word_seed.hpp", CODEC_SEED_SRC, [])
+    cbad_model, _ = cm.build_file_model(
+        "src/codec/codec_bad.hpp", CODEC_BAD_SRC, [])
+    got = sorted(f.rule for f in passes.run_codec_pass(
+        [cbad_model, cseed_model], CODEC_TEST_CONFIG, CODEC_AUX))
+    want = ["codec-drift", "raw-word-arithmetic", "raw-word-arithmetic"]
+    if got != want:
+        failures.append(f"codec seeded case: expected {want}, got {got}")
+
+    # A helper-routed clean file raises no raw-word-arithmetic.
+    cclean_model, _ = cm.build_file_model(
+        "src/codec/codec_clean.hpp", CODEC_CLEAN_SRC, [])
+    cf = [f for f in passes.run_codec_pass(
+        [cclean_model, cseed_model], CODEC_TEST_CONFIG, CODEC_AUX)
+        if f.rule == "raw-word-arithmetic"]
+    if cf:
+        failures.append("codec-clean seeded file produced findings: "
+                        + "; ".join(f.message for f in cf))
+
+    # Layout drift: a payload_shift pin disagreeing with the header fails.
+    drift_cfg = {"codec": dict(CODEC_TEST_CONFIG["codec"],
+                               payload_shift=4, helper=[])}
+    got = [f.rule for f in passes.run_codec_pass(
+        [cseed_model], drift_cfg, CODEC_AUX)]
+    if got != ["codec-drift"]:
+        failures.append(f"codec layout-drift seeded case got {got}")
+
     if failures:
         print("self-test FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 2
     print(f"self-test OK ({len(SELF_TEST_CASES)} seeded cases, "
-          "6 passes + annotation roster covered)")
+          "8 passes + annotation roster covered)")
     return 0
 
 
@@ -656,6 +881,13 @@ def main() -> int:
                     help="write the generated guard-obligation map")
     ap.add_argument("--check-guard-map", type=pathlib.Path, default=None,
                     help="fail (exit 1) if the on-disk guard map is stale")
+    ap.add_argument("--emit-publication-map", type=pathlib.Path,
+                    default=None,
+                    help="write the generated safe-publication map")
+    ap.add_argument("--check-publication-map", type=pathlib.Path,
+                    default=None,
+                    help="fail (exit 1) if the on-disk publication map is "
+                         "stale")
     ap.add_argument("--strict", action="store_true",
                     help="unused suppressions are errors, not warnings")
     ap.add_argument("--self-test", action="store_true",

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Fixture-tree corpus check for analyzer passes 5/6 + annotation roster.
+"""Fixture-tree corpus check for analyzer passes 5-8 + annotation roster.
 
-Runs the guard, shared-plain, and unknown-annotation passes over the
-mini-sources in tools/analyze/fixtures/: the good/ tree must analyze
+Runs the guard, shared-plain, publication, codec, and
+unknown-annotation passes over the mini-sources in
+tools/analyze/fixtures/: the good/ tree must analyze
 clean, and each bad/ file must produce exactly its expected rule
 multiset. This pins the passes' behaviour on curated inputs that are
 independent of the real tree — an analyzer regression that stops
@@ -45,11 +46,44 @@ CONFIG = {
              "why": "fixture: no licence on purpose"},
         ],
     },
+    "sync": {"pseudo": {}},
+    "publication": {
+        "scan_dirs": ["fixtures"],
+        "alloc_tokens": ["allocate_node("],
+        "publish_tokens": ["Dcas::dcas(", "Dcas::cas("],
+        "node": [
+            {"type": "PNode", "file": "bad/publication_violations.hpp",
+             "fields": ["left", "right", "value"],
+             "why": "fixture: seeded publication violations"},
+            {"type": "PNode", "file": "good/clean_publication.hpp",
+             "fields": ["left", "right", "value"],
+             "why": "fixture: fully initialised before the DCAS"},
+        ],
+    },
+    "codec": {
+        "scan_dirs": ["fixtures"],
+        "load_tokens": ["Dcas::load("],
+        "store_tokens": ["store_init(", "Dcas::dcas("],
+        "layout": "good/clean_codec.hpp",
+        "payload_shift": 3,
+        "helper": [
+            {"file": "good/clean_codec.hpp",
+             "functions": ["encode_payload", "decode_payload",
+                           "is_deleted"],
+             "why": "fixture: the licensed bit-arithmetic home"},
+            {"file": "bad/codec_violations.hpp",
+             "functions": ["ghost_helper"],
+             "why": "fixture: rostered helper that does not exist"},
+        ],
+    },
     "annotations": {
-        "known": ["DCD_SYNC", "DCD_LP", "DCD_PROGRESS",
+        "known": ["DCD_SYNC", "DCD_LP", "DCD_PROGRESS", "DCD_PUBLISHES",
                   "DCD_REQUIRES_GUARD", "DCD_GUARD_EXEMPT"],
     },
 }
+
+# Sync points the publication fixtures' DCD_PUBLISHES may cite.
+ROSTER = {"dcas.any", "pop.commit"}
 
 # file (relative to fixtures/) -> expected sorted rule list. good/ files
 # must be absent (no findings at all).
@@ -59,6 +93,11 @@ EXPECTED = {
     "bad/shared_violations.hpp": [
         "shared-plain-access", "shared-plain-unknown-field"],
     "bad/typo_annotation.hpp": ["unknown-annotation"],
+    "bad/publication_violations.hpp": [
+        "post-publication-plain-write", "publishes-mismatch",
+        "unannotated-publication", "unpublished-field"],
+    "bad/codec_violations.hpp": [
+        "codec-drift", "raw-word-arithmetic", "raw-word-arithmetic"],
 }
 
 
@@ -80,6 +119,8 @@ def main() -> int:
 
     findings += passes.run_guard_pass(models, CONFIG)
     findings += passes.run_shared_plain_pass(models, CONFIG)
+    findings += passes.run_publication_pass(models, CONFIG, ROSTER)
+    findings += passes.run_codec_pass(models, CONFIG)
     findings += passes.run_annotation_pass(models, CONFIG)
 
     by_file: dict[str, list[str]] = {}

@@ -259,6 +259,18 @@ class LpAnnotation:
 
 
 @dataclasses.dataclass(frozen=True)
+class PublishAnnotation:
+    """``// DCD_PUBLISHES(point, f1+f2+...)`` — licenses the publishing
+    store on the attached line: the named sync point is where the tracked
+    node escapes, and ``fields`` is the full roster of plain fields the
+    author vouches are written before that store."""
+    point: str
+    fields: tuple[str, ...]
+    path: str
+    line: int            # code line the annotation attaches to
+
+
+@dataclasses.dataclass(frozen=True)
 class CasSite:
     form: str            # "dcas" | "dcas_view" | "cas" | "std_cas" | "notify"
     callee: str          # e.g. "Dcas::dcas", "compare_exchange_weak", point name
@@ -326,6 +338,8 @@ class FileModel:
     loops: list[RetryLoop] = dataclasses.field(default_factory=list)
     syncs: list[SyncAnnotation] = dataclasses.field(default_factory=list)
     lps: list[LpAnnotation] = dataclasses.field(default_factory=list)
+    publishes: list[PublishAnnotation] = dataclasses.field(
+        default_factory=list)
     lines: list[str] = dataclasses.field(default_factory=list)
     funcs: list[FuncModel] = dataclasses.field(default_factory=list)
     masked: str = ""
@@ -345,6 +359,9 @@ ATTACH_WINDOW = 4
 
 SYNC_RE = re.compile(r"DCD_SYNC\(\s*([a-z_.|\-\s]+?)\s*\)")
 PROGRESS_RE = re.compile(r"DCD_PROGRESS\(\s*([^)]*?)\s*\)")
+PUBLISHES_RE = re.compile(
+    r"DCD_PUBLISHES\(\s*(?P<point>[a-z_.\-]+)\s*,\s*"
+    r"(?P<fields>[A-Za-z_]\w*(?:\s*\+\s*[A-Za-z_]\w*)*)\s*\)")
 LP_RE = re.compile(
     r"DCD_LP\(\s*"
     r"(?P<fig>[A-Za-z]\w*):(?P<lines>[\w\-,]+)\s*,\s*"
@@ -394,11 +411,13 @@ def _joined_comment_blocks(
 def parse_annotations(path: str, comments: list[tuple[int, str]],
                       code_lines: list[str]
                       ) -> tuple[list[SyncAnnotation], list[LpAnnotation],
-                                 dict[int, str], list[tuple[int, str]]]:
-    """Returns (syncs, lps, progress-by-attached-line, malformed)."""
+                                 dict[int, str], list[PublishAnnotation],
+                                 list[tuple[int, str]]]:
+    """Returns (syncs, lps, progress-by-attached-line, publishes, malformed)."""
     syncs: list[SyncAnnotation] = []
     lps: list[LpAnnotation] = []
     progress: dict[int, str] = {}
+    publishes: list[PublishAnnotation] = []
     malformed: list[tuple[int, str]] = []
     for start, nlines, text, trailing in _joined_comment_blocks(comments,
                                                                 code_lines):
@@ -420,6 +439,11 @@ def parse_annotations(path: str, comments: list[tuple[int, str]],
                 path, attach))
         for m in PROGRESS_RE.finditer(text):
             progress[attach] = m.group(1)
+        for m in PUBLISHES_RE.finditer(text):
+            fields = tuple(f.strip() for f in m.group("fields").split("+")
+                           if f.strip())
+            publishes.append(PublishAnnotation(m.group("point"), fields,
+                                               path, attach))
         # Any DCD_LP( that did not parse with the full grammar is malformed.
         for m in re.finditer(r"DCD_LP\(", text):
             if not any(lp_m.start() == m.start()
@@ -427,7 +451,13 @@ def parse_annotations(path: str, comments: list[tuple[int, str]],
                 malformed.append((start, "DCD_LP does not match the grammar "
                                   "DCD_LP(FigN:lines, point[, aux], "
                                   'inv=a+b, "cond")'))
-    return syncs, lps, progress, malformed
+        # Likewise a DCD_PUBLISHES( that did not parse.
+        for m in re.finditer(r"DCD_PUBLISHES\(", text):
+            if not any(pm.start() == m.start()
+                       for pm in PUBLISHES_RE.finditer(text)):
+                malformed.append((start, "DCD_PUBLISHES does not match the "
+                                  "grammar DCD_PUBLISHES(point, f1+f2)"))
+    return syncs, lps, progress, publishes, malformed
 
 
 # --- extraction ------------------------------------------------------------
@@ -791,6 +821,24 @@ def _has_token(text: str, tokens: list[str]) -> bool:
     return any(tok in text for tok in tokens)
 
 
+def _find_token_b(text: str, tok: str, start: int = 0) -> int:
+    """`str.find` with a word boundary before word-leading tokens, so the
+    configured `Dcas::dcas(` cannot match inside `GlobalLockDcas::dcas(`
+    (a policy's own definition or qualified call)."""
+    while True:
+        k = text.find(tok, start)
+        if k < 0:
+            return -1
+        if not (tok[0].isalnum() or tok[0] == "_") or k == 0 \
+                or not (text[k - 1].isalnum() or text[k - 1] == "_"):
+            return k
+        start = k + 1
+
+
+def _has_token_b(text: str, tokens: list[str]) -> bool:
+    return any(_find_token_b(text, tok) >= 0 for tok in tokens)
+
+
 def extract_funcs(path: str, masked: str, scopes: list[Scope],
                   guard_cfg: dict | None) -> list[FuncModel]:
     """Function spans + guard sites + tracked node vars/derefs/calls."""
@@ -952,6 +1000,251 @@ def attach_guard_annotations(path: str, comments: list[tuple[int, str]],
     return malformed
 
 
+# --- publication facts (pass 7) --------------------------------------------
+#
+# A pool node is thread-private from its allocation site (an initialiser
+# containing one of the configured alloc tokens, or a cast of an already
+# tracked pointer) until the releasing CAS/DCAS whose argument list names
+# it — paper footnote 7's "nodes are private until the publishing DCAS".
+# The extraction below is intra-procedural and textual: writes and
+# publishing stores are ordered by their offsets in the function body,
+# which matches this tree's straight-line allocate/init/publish shape
+# (retry loops re-run init textually *before* the DCAS).
+
+@dataclasses.dataclass(frozen=True)
+class AllocVar:
+    name: str
+    type: str            # declared pointee type ("auto"/"void" when unnamed)
+    off: int             # offset of the declaration in the masked text
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldWrite:
+    var: str
+    field: str
+    kind: str            # "store_init" | "plain"
+    off: int
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PublishSite:
+    var: str
+    token: str           # the publish token that matched (e.g. "Dcas::dcas(")
+    off: int
+    line: int
+
+
+_ALLOC_DECL_RE = re.compile(
+    r"\b(?:const\s+)?([A-Za-z_]\w*)\s*\*\s*(?:const\s+)?"
+    r"([A-Za-z_]\w*)\s*=")
+
+
+def _decl_init(span: str, end: int) -> str:
+    semi = span.find(";", end)
+    return span[end:semi if semi >= 0 else len(span)]
+
+
+def extract_alloc_flow(masked: str, fn: FuncModel,
+                       alloc_tokens: list[str], publish_tokens: list[str]
+                       ) -> tuple[list[AllocVar], list[FieldWrite],
+                                  list[PublishSite]]:
+    """Tracked pool-node locals, their field writes, and publish sites."""
+    span = masked[fn.header_off:fn.close_off]
+    base = fn.header_off
+    tracked: dict[str, AllocVar] = {}
+    # Direct allocations, then a fixpoint over cast/alias chains
+    # (`Node* n = static_cast<Node*>(raw);` tracks `n` when `raw` is).
+    pending = True
+    while pending:
+        pending = False
+        for dm in _ALLOC_DECL_RE.finditer(span):
+            typ, name = dm.group(1), dm.group(2)
+            if name in tracked:
+                continue
+            init = _decl_init(span, dm.end())
+            hit = _has_token_b(init, alloc_tokens) or any(
+                re.search(rf"\b{re.escape(t)}\b", init) for t in tracked)
+            if hit:
+                off = base + dm.start()
+                tracked[name] = AllocVar(name, typ, off,
+                                         line_of(masked, off))
+                pending = True
+    writes: list[FieldWrite] = []
+    publishes: list[PublishSite] = []
+    for name in tracked:
+        for wm in re.finditer(
+                rf"\bstore_init\s*\(\s*{re.escape(name)}\s*->\s*(\w+)", span):
+            off = base + wm.start()
+            writes.append(FieldWrite(name, wm.group(1), "store_init", off,
+                                     line_of(masked, off)))
+        for wm in re.finditer(
+                rf"\b{re.escape(name)}\s*->\s*(\w+)\s*=(?![=])", span):
+            off = base + wm.start()
+            writes.append(FieldWrite(name, wm.group(1), "plain", off,
+                                     line_of(masked, off)))
+    for tok in publish_tokens:
+        start = 0
+        while True:
+            k = _find_token_b(span, tok, start)
+            if k < 0:
+                break
+            start = k + 1
+            args = balanced_args(span, k + len(tok) - 1)
+            if args is None:
+                continue
+            for name in tracked:
+                if re.search(rf"\b{re.escape(name)}\b", args):
+                    off = base + k
+                    publishes.append(PublishSite(name, tok, off,
+                                                 line_of(masked, off)))
+    writes.sort(key=lambda w: w.off)
+    publishes.sort(key=lambda p: p.off)
+    return sorted(tracked.values(), key=lambda v: v.off), writes, publishes
+
+
+# --- word-encoding facts (pass 8) -------------------------------------------
+#
+# Values loaded from contracted atomic words are tainted; a raw bit
+# operator adjacent to a tainted occurrence — or inside the value
+# arguments of a store/CAS call — is codec arithmetic that must live in a
+# rostered helper. `&&`/`||`, address-of `&`, and template angle brackets
+# are disambiguated below; shifts additionally require a literal or
+# `kConstant`-style operand so template `>>` closes never match.
+
+@dataclasses.dataclass(frozen=True)
+class BitOpUse:
+    var: str             # tainted variable ("" for store-argument hits)
+    op: str              # "&" | "|" | "^" | "~" | "<<" | ">>"
+    off: int             # offset in the masked text
+    line: int
+
+
+_TAINT_DECL_RE = re.compile(
+    r"\b(?:const\s+)?(?:std::uint64_t|std::uint32_t|uint64_t|auto)\s+"
+    r"([A-Za-z_]\w*)\s*=")
+
+
+def _prev_nonspace(text: str, i: int) -> tuple[str, int]:
+    j = i
+    while j >= 0 and text[j].isspace():
+        j -= 1
+    return (text[j] if j >= 0 else "", j)
+
+
+def _next_nonspace(text: str, i: int) -> tuple[str, int]:
+    j = i
+    while j < len(text) and text[j].isspace():
+        j += 1
+    return (text[j] if j < len(text) else "", j)
+
+
+def _shift_operand_ok(text: str, i: int) -> bool:
+    """Operand after a shift must look like codec arithmetic (a digit or a
+    kConstant), not a template/stream artefact."""
+    c, j = _next_nonspace(text, i)
+    if c.isdigit() or c == "(":
+        return True
+    return bool(re.match(r"k[A-Z]", text[j:j + 2]))
+
+
+def _bitop_before(text: str, start: int) -> str | None:
+    c, j = _prev_nonspace(text, start - 1)
+    if c == "~":
+        return "~"
+    if c == "^":
+        return "^"
+    if c in "&|":
+        prev, _ = _prev_nonspace(text, j - 1)
+        if prev == c:
+            return None  # logical && / ||
+        if c == "&" and prev not in ")]" and not (prev.isalnum()
+                                                  or prev == "_"):
+            return None  # unary address-of
+        return c
+    if c == "<" and j >= 1 and text[j - 1] == "<":
+        prev, _ = _prev_nonspace(text, j - 2)
+        if prev.isalnum() or prev in "_)]":
+            return "<<"
+    if c == ">" and j >= 1 and text[j - 1] == ">":
+        prev, _ = _prev_nonspace(text, j - 2)
+        if prev.isalnum() or prev in "_)]":
+            return ">>"
+    return None
+
+
+def _bitop_after(text: str, end: int) -> str | None:
+    c, j = _next_nonspace(text, end)
+    if c == "^":
+        return "^"
+    if c in "&|":
+        nxt, _ = _next_nonspace(text, j + 1)
+        if nxt == c:
+            return None  # logical && / ||
+        return c
+    two = text[j:j + 2]
+    if two in ("<<", ">>") and _shift_operand_ok(text, j + 2):
+        return two
+    return None
+
+
+def extract_word_flow(masked: str, fn: FuncModel,
+                      load_tokens: list[str]) -> list[BitOpUse]:
+    """Bit operators adjacent to word-valued locals loaded from atomics."""
+    span = masked[fn.header_off:fn.close_off]
+    base = fn.header_off
+    tainted: set[str] = set()
+    for dm in _TAINT_DECL_RE.finditer(span):
+        if _has_token_b(_decl_init(span, dm.end()), load_tokens):
+            tainted.add(dm.group(1))
+    uses: list[BitOpUse] = []
+    for name in tainted:
+        for om in re.finditer(rf"\b{re.escape(name)}\b", span):
+            op = (_bitop_before(span, om.start())
+                  or _bitop_after(span, om.end()))
+            if op:
+                off = base + om.start()
+                uses.append(BitOpUse(name, op, off, line_of(masked, off)))
+    return sorted(uses, key=lambda u: u.off)
+
+
+def extract_store_arg_bitops(masked: str, fn: FuncModel,
+                             store_tokens: list[str]) -> list[BitOpUse]:
+    """Bit operators inside the *value* arguments of word stores/CASes.
+
+    The first argument of every store token is the target word (an
+    lvalue, never codec arithmetic) and is skipped; every later argument
+    is scanned."""
+    span = masked[fn.header_off:fn.close_off]
+    base = fn.header_off
+    uses: list[BitOpUse] = []
+    for tok in store_tokens:
+        start = 0
+        while True:
+            k = _find_token_b(span, tok, start)
+            if k < 0:
+                break
+            start = k + 1
+            args = balanced_args(span, k + len(tok) - 1)
+            if args is None:
+                continue
+            arg_base = k + len(tok)
+            parts = _split_top_level(args)
+            pos = 0
+            for idx, part in enumerate(parts):
+                if idx > 0:
+                    for om in re.finditer(r"[A-Za-z0-9_)\]]", part):
+                        op = _bitop_after(part, om.end())
+                        if op:
+                            off = base + arg_base + pos + om.start()
+                            uses.append(BitOpUse("", op, off,
+                                                 line_of(masked, off)))
+                            break  # one finding per argument is enough
+                pos += len(part) + 1
+    return sorted(uses, key=lambda u: u.off)
+
+
 # --- per-file driver -------------------------------------------------------
 
 def build_file_model(path: str, text: str,
@@ -970,8 +1263,10 @@ def build_file_model(path: str, text: str,
         path, masked, model.fields, scopes)
     model.cas_sites = extract_cas_sites(path, masked, scopes)
     model.cas_sites += extract_notify_sites(path, text, scopes)
-    syncs, lps, progress, malformed = parse_annotations(path, comments, lines)
+    syncs, lps, progress, publishes, malformed = parse_annotations(
+        path, comments, lines)
     model.syncs, model.lps = syncs, lps
+    model.publishes = publishes
     model.loops = extract_loops(path, masked, model.cas_sites,
                                 progress_tokens, progress)
     model.funcs = extract_funcs(path, masked, scopes, guard_cfg)

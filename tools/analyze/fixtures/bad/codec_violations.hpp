@@ -1,0 +1,18 @@
+// Seeded pass-8 violations: raw bit arithmetic on word values outside
+// every rostered helper, twice (a tainted load and a store argument).
+// The fixture config additionally rosters a `ghost_helper` in this file
+// that does not exist -> codec-drift.
+#pragma once
+
+struct CodecBad {
+  bool probe(W& w) {
+    // raw-word-arithmetic (tainted local): the deleted-bit test belongs
+    // in deleted_of(), not inline.
+    const std::uint64_t v = Dcas::load(w.a);
+    if ((v & kDeletedBit) != 0) return true;
+    // raw-word-arithmetic (store argument): the tag-set belongs in an
+    // encode helper, not in the CAS argument list.
+    store_init(w.b, x | kDeletedBit);
+    return false;
+  }
+};

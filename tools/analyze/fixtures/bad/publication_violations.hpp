@@ -1,0 +1,40 @@
+// Seeded pass-7 violations, one per publication rule. `PNode` is
+// deliberately NOT in the guard pass's node_types so these fixtures
+// exercise publication tracking without dragging in pass-5 findings.
+#pragma once
+
+struct PubBad {
+  // unannotated-publication: the DCAS escapes the node with no
+  // DCD_PUBLISHES licence at all.
+  void push_a(W& w) {
+    PNode* n = allocate_node();
+    store_init(n->left, l);
+    store_init(n->right, r);
+    store_init(n->value, v);
+    Dcas::dcas(w.a, w.b, o1, o2, ptr(n), ptr(n));
+  }
+
+  // unpublished-field: `value` is neither written before the DCAS nor
+  // vouched by the licence — a reader can acquire the node with the
+  // field uninitialised. post-publication-plain-write: the late write
+  // races every such reader.
+  void push_b(W& w) {
+    PNode* n = allocate_node();
+    store_init(n->left, l);
+    store_init(n->right, r);
+    // DCD_PUBLISHES(dcas.any, left+right)
+    Dcas::dcas(w.a, w.b, o1, o2, ptr(n), ptr(n));
+    n->value = v;
+  }
+
+  // publishes-mismatch: the licence names an escape point that is in
+  // neither the sync roster nor the declared pseudo-points.
+  void push_c(W& w) {
+    PNode* n = allocate_node();
+    store_init(n->left, l);
+    store_init(n->right, r);
+    store_init(n->value, v);
+    // DCD_PUBLISHES(bogus.point, left+right+value)
+    Dcas::cas(w.a, o1, ptr(n));
+  }
+};

@@ -1,0 +1,27 @@
+// Clean pass-8 shape: every bit expression lives inside a rostered
+// helper span; call sites route word values through the helpers only.
+// This file is also the fixture config's layout pin (kPayloadShift = 3).
+#pragma once
+
+inline constexpr std::uint64_t kPayloadShift = 3;
+inline constexpr std::uint64_t kDeletedBit = 1ull << 1;
+
+// Rostered helpers: the licensed home of the bit arithmetic.
+constexpr std::uint64_t encode_payload(std::uint64_t p) noexcept {
+  return p << kPayloadShift;
+}
+constexpr std::uint64_t decode_payload(std::uint64_t w) noexcept {
+  return w >> kPayloadShift;
+}
+constexpr bool is_deleted(std::uint64_t w) noexcept {
+  return (w & kDeletedBit) != 0;
+}
+
+struct CodecClean {
+  bool probe(W& w) {
+    const std::uint64_t v = Dcas::load(w.a);
+    if (is_deleted(v)) return true;
+    store_init(w.b, encode_payload(p));
+    return false;
+  }
+};

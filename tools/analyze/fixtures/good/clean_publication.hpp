@@ -1,0 +1,17 @@
+// Clean pass-7 shape: all rostered fields written (or vouched) before
+// the publishing DCAS, licence point in the roster, no write after.
+#pragma once
+
+struct PubClean {
+  void push(W& w) {
+    for (;;) {
+      PNode* n = allocate_node();
+      store_init(n->left, l);
+      store_init(n->right, r);
+      init_value(n);  // vouched below: the helper writes `value`
+      // DCD_PUBLISHES(dcas.any, left+right+value)
+      if (Dcas::dcas(w.a, w.b, o1, o2, ptr(n), ptr(n))) return;
+      backoff.pause();
+    }
+  }
+};

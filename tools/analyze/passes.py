@@ -1,4 +1,4 @@
-"""The six analysis passes over the cpp_model fact base.
+"""The eight analysis passes over the cpp_model fact base.
 
 Pass 1  contract     memory-order contract audit per atomic field
 Pass 2  sync         sync-point completeness at every CAS/DCAS call site
@@ -8,6 +8,14 @@ Pass 5  guard        reclamation-safety: every pool-node deref dominated by
                      a live guard / LFRC ref / caller-declared scope
 Pass 6  shared-plain plain (non-atomic) access to shared-reachable fields
                      outside the happens-before licence contracts.toml claims
+Pass 7  publication  safe publication: pool nodes stay thread-private from
+                     allocation through field init to the publishing
+                     CAS/DCAS, licensed by DCD_PUBLISHES(point, fields)
+Pass 8  codec        word-encoding value flow: raw bit arithmetic on values
+                     loaded from / stored to contracted atomic words must
+                     live in the [codec]-rostered helpers, which are
+                     themselves cross-checked against the compile-time
+                     tag-disjointness audit
 
 Plus the annotation-roster check (`unknown-annotation`): a DCD_* token
 outside the known roster is a finding, so a typo in a load-bearing
@@ -693,6 +701,321 @@ def _innermost_func(funcs: list[cm.FuncModel],
 
 
 # --------------------------------------------------------------------------
+# Pass 7: safe publication
+# --------------------------------------------------------------------------
+#
+# Paper footnote 7: a node is thread-private from allocation until the
+# DCAS that links it into the deque; only that privacy makes the plain
+# (non-atomic) field initialisation between the two points race-free.
+# Pass 7 machine-checks it: every publishing store of a tracked
+# allocation must carry a DCD_PUBLISHES(point, fields) licence whose
+# point matches the site's DCD_SYNC classification, every rostered field
+# of the node type must be written (or explicitly vouched) before the
+# publish, and no plain write through the pointer may follow it.
+
+def _pub_node_rows(cfg: dict) -> list[dict]:
+    return list(cfg.get("publication", {}).get("node", []))
+
+
+def _resolve_node_row(rows: list[dict], var: cm.AllocVar,
+                      path: str) -> dict | None:
+    cands = [r for r in rows if _file_match(path, r.get("file", ""))]
+    exact = [r for r in cands if r.get("type") == var.type]
+    if exact:
+        return exact[0]
+    return cands[0] if len(cands) == 1 else None
+
+
+def run_publication_pass(models: list[cm.FileModel], cfg: dict,
+                         roster: set[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    pcfg = cfg.get("publication", {})
+    scan_dirs = pcfg.get("scan_dirs", [])
+    alloc_tokens = list(pcfg.get("alloc_tokens", []))
+    publish_tokens = list(pcfg.get("publish_tokens", []))
+    rows = _pub_node_rows(cfg)
+    pseudo = set(cfg.get("sync", {}).get("pseudo", {}).keys())
+    if not (scan_dirs and alloc_tokens and publish_tokens):
+        return findings
+
+    # Roster rows must name files that are actually scanned, else the
+    # field obligations they carry silently evaporate.
+    for row in rows:
+        if not any(_file_match(m.path, row.get("file", ""))
+                   for m in models if _in_dirs(m.path, scan_dirs)):
+            findings.append(Finding(
+                "publication", "publishes-mismatch", row.get("file", "?"), 0,
+                f"[[publication.node]] row for '{row.get('type', '?')}' "
+                f"names file '{row.get('file', '?')}' which is not in the "
+                "scanned tree"))
+
+    for model in models:
+        if not _in_dirs(model.path, scan_dirs):
+            continue
+        pub_by_line: dict[int, list[cm.PublishAnnotation]] = {}
+        for ann in model.publishes:
+            pub_by_line.setdefault(ann.line, []).append(ann)
+        sync_by_line: dict[int, list[str]] = {}
+        for sann in model.syncs:
+            sync_by_line.setdefault(sann.line, []).extend(sann.points)
+        site_lines: set[int] = set()
+
+        for fn in model.funcs:
+            allocs, writes, sites = cm.extract_alloc_flow(
+                model.masked, fn, alloc_tokens, publish_tokens)
+            for var in allocs:
+                var_sites = [s for s in sites if s.var == var.name]
+                if not var_sites:
+                    continue
+                first = var_sites[0]
+                site_lines.update(s.line for s in var_sites)
+                var_writes = [w for w in writes if w.var == var.name]
+                row = _resolve_node_row(rows, var, model.path)
+                anns = pub_by_line.get(first.line, [])
+
+                for w in var_writes:
+                    if w.off > first.off:
+                        findings.append(Finding(
+                            "publication", "post-publication-plain-write",
+                            model.path, w.line,
+                            f"{w.kind} write to '{var.name}->{w.field}' in "
+                            f"{fn.name}() comes after the publishing store "
+                            f"at line {first.line}; once published the node "
+                            "is shared and every field write must go "
+                            "through its atomic word",
+                            _snippet(model, w.line)))
+
+                if not anns:
+                    findings.append(Finding(
+                        "publication", "unannotated-publication",
+                        model.path, first.line,
+                        f"publishing store of '{var.name}' (allocated at "
+                        f"line {var.line}) in {fn.name}() carries no "
+                        "DCD_PUBLISHES(point, fields) licence naming the "
+                        "escape point and the plain fields initialised "
+                        "before it",
+                        _snippet(model, first.line)))
+                    continue
+
+                vouched: set[str] = set()
+                for ann in anns:
+                    vouched.update(ann.fields)
+                    if ann.point not in roster and ann.point not in pseudo:
+                        findings.append(Finding(
+                            "publication", "publishes-mismatch",
+                            model.path, ann.line,
+                            f"DCD_PUBLISHES point '{ann.point}' is neither "
+                            "in the chaos.hpp sync roster nor a declared "
+                            "pseudo-point",
+                            _snippet(model, ann.line)))
+                    sync_points = sync_by_line.get(first.line, [])
+                    if sync_points and ann.point not in sync_points:
+                        findings.append(Finding(
+                            "publication", "publishes-mismatch",
+                            model.path, ann.line,
+                            f"DCD_PUBLISHES point '{ann.point}' disagrees "
+                            "with the site's DCD_SYNC classification "
+                            f"({sync_points}); the escape happens at the "
+                            "sync point, not beside it",
+                            _snippet(model, ann.line)))
+                    if row is not None:
+                        unknown = [f for f in ann.fields
+                                   if f not in row.get("fields", [])]
+                        if unknown:
+                            findings.append(Finding(
+                                "publication", "publishes-mismatch",
+                                model.path, ann.line,
+                                f"DCD_PUBLISHES fields {unknown} are not in "
+                                f"the [[publication.node]] roster for "
+                                f"'{row.get('type')}' "
+                                f"({row.get('fields', [])})",
+                                _snippet(model, ann.line)))
+                if row is not None:
+                    for f in row.get("fields", []):
+                        written = any(w.field == f and w.off < first.off
+                                      for w in var_writes)
+                        if not written and f not in vouched:
+                            findings.append(Finding(
+                                "publication", "unpublished-field",
+                                model.path, first.line,
+                                f"publishing store of '{var.name}' in "
+                                f"{fn.name}() is reachable while rostered "
+                                f"field '{row.get('type')}::{f}' has no "
+                                "observed write and the DCD_PUBLISHES "
+                                "licence does not vouch for it; a reader "
+                                "can acquire the node with the field "
+                                "uninitialised",
+                                _snippet(model, first.line)))
+
+        # A licence that attaches to a line with no publishing store is
+        # stale — the same staleness check DCD_SYNC orphans get.
+        for ann in model.publishes:
+            if ann.line not in site_lines:
+                findings.append(Finding(
+                    "publication", "publishes-mismatch", model.path,
+                    ann.line,
+                    f"DCD_PUBLISHES({ann.point}, ...) attaches to a line "
+                    "with no publishing store of a tracked allocation",
+                    _snippet(model, ann.line)))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Pass 8: word-encoding value flow
+# --------------------------------------------------------------------------
+#
+# Every multi-field word (payload/tag/deleted-bit/sentinel encodings,
+# descriptor marks, version tags) is packed and unpacked by the helpers
+# rostered in [codec]. Raw bit arithmetic on a value loaded from (or
+# stored to) a contracted atomic word anywhere else is a finding: it is
+# exactly how a second, drifting copy of the word layout enters the tree.
+# The rostered helpers are in turn cross-checked against the compile-time
+# tag-disjointness audit (concepts.hpp) and the property tests named in
+# their rows, so the static roster, the runtime layout, and the tests
+# cannot drift apart.
+
+def _codec_rows(cfg: dict) -> list[dict]:
+    return list(cfg.get("codec", {}).get("helper", []))
+
+
+def _rostered_spans(model: cm.FileModel,
+                    rows: list[dict]) -> list[tuple[int, int]]:
+    names: set[str] = set()
+    for row in rows:
+        if _file_match(model.path, row.get("file", "")):
+            names.update(row.get("functions", []))
+    if not names:
+        return []
+    return [(fn.header_off, fn.close_off) for fn in model.funcs
+            if fn.name in names]
+
+
+def run_codec_pass(models: list[cm.FileModel], cfg: dict,
+                   aux_texts: dict[str, str] | None = None) -> list[Finding]:
+    findings: list[Finding] = []
+    ccfg = cfg.get("codec", {})
+    scan_dirs = ccfg.get("scan_dirs", [])
+    load_tokens = list(ccfg.get("load_tokens", []))
+    store_tokens = list(ccfg.get("store_tokens", []))
+    rows = _codec_rows(cfg)
+    aux_texts = aux_texts or {}
+    if not scan_dirs:
+        return findings
+
+    # raw-word-arithmetic: tainted-value and store-argument bit ops
+    # outside every rostered helper span.
+    for model in models:
+        if not _in_dirs(model.path, scan_dirs):
+            continue
+        licensed = _rostered_spans(model, rows)
+        seen_offs: set[int] = set()
+        for fn in model.funcs:
+            uses = cm.extract_word_flow(model.masked, fn, load_tokens)
+            uses += cm.extract_store_arg_bitops(model.masked, fn,
+                                                store_tokens)
+            for u in uses:
+                if u.off in seen_offs:
+                    continue  # nested scopes (lambdas) see the same token
+                seen_offs.add(u.off)
+                if any(s < u.off <= e for s, e in licensed):
+                    continue
+                what = (f"word value '{u.var}'" if u.var
+                        else "a store/CAS value argument")
+                findings.append(Finding(
+                    "codec", "raw-word-arithmetic", model.path, u.line,
+                    f"raw bit operator '{u.op}' on {what} in "
+                    f"{fn.name}(), outside every [codec]-rostered helper; "
+                    "tag/payload/deleted-bit arithmetic must go through "
+                    "the word codec so the layout has exactly one "
+                    "implementation",
+                    _snippet(model, u.line)))
+
+    # codec-drift: roster rows vs. the tree, the compile-time audit, and
+    # the property tests they claim.
+    for row in rows:
+        rfile = row.get("file", "?")
+        # Exact suffix beats the stem fallback: `mcas.cpp` must resolve
+        # to the TU holding the helper definitions, not its header.
+        model = (next((m for m in models if m.path.endswith(rfile)), None)
+                 or next((m for m in models
+                          if _file_match(m.path, rfile)), None))
+        if model is None:
+            findings.append(Finding(
+                "codec", "codec-drift", rfile, 0,
+                f"[[codec.helper]] row names file '{rfile}' which is not "
+                "in the scanned tree"))
+            continue
+        for name in row.get("functions", []):
+            if not re.search(rf"\b{re.escape(name)}\s*\(", model.masked):
+                findings.append(Finding(
+                    "codec", "codec-drift", model.path, 0,
+                    f"rostered codec helper '{name}' has no definition in "
+                    f"{rfile}; the roster licenses arithmetic that no "
+                    "longer exists"))
+        tested_by = row.get("tested_by", "")
+        if tested_by:
+            text = aux_texts.get(tested_by)
+            if text is None:
+                findings.append(Finding(
+                    "codec", "codec-drift", tested_by, 0,
+                    f"[[codec.helper]] row for '{rfile}' names test file "
+                    f"'{tested_by}' which does not exist"))
+            else:
+                for tok in row.get("tested_tokens", []):
+                    if tok not in text:
+                        findings.append(Finding(
+                            "codec", "codec-drift", tested_by, 0,
+                            f"claimed test token '{tok}' (codec roster row "
+                            f"for '{rfile}') does not appear in "
+                            f"{tested_by}; the cross-reference from roster "
+                            "to property test is stale"))
+
+    # Layout pins: the [codec] section repeats the payload shift and the
+    # audit file's key static_assert expressions; disagreement with the
+    # tree means the static model and the compile-time audit diverged.
+    layout = ccfg.get("layout", "")
+    if layout:
+        model = next((m for m in models if _file_match(m.path, layout)),
+                     None)
+        if model is None:
+            findings.append(Finding(
+                "codec", "codec-drift", layout, 0,
+                f"[codec] layout file '{layout}' is not in the scanned "
+                "tree"))
+        else:
+            m = re.search(r"kPayloadShift\s*=\s*(\d+)", model.masked)
+            want = ccfg.get("payload_shift")
+            if m is None or (want is not None
+                             and int(m.group(1)) != int(want)):
+                got = m.group(1) if m else "<missing>"
+                findings.append(Finding(
+                    "codec", "codec-drift", model.path,
+                    cm.line_of(model.masked, m.start()) if m else 0,
+                    f"kPayloadShift in {layout} is {got} but [codec] "
+                    f"payload_shift pins {want}; update the roster and "
+                    "every helper the shift feeds"))
+    audit = ccfg.get("audit", "")
+    if audit:
+        model = next((m for m in models if _file_match(m.path, audit)),
+                     None)
+        if model is None:
+            findings.append(Finding(
+                "codec", "codec-drift", audit, 0,
+                f"[codec] audit file '{audit}' is not in the scanned tree"))
+        else:
+            text = "\n".join(model.lines)
+            for needle in ccfg.get("audit_needles", []):
+                if needle not in text:
+                    findings.append(Finding(
+                        "codec", "codec-drift", model.path, 0,
+                        f"compile-time audit expression '{needle}' is "
+                        f"missing from {audit}; the tag-disjointness "
+                        "static_asserts no longer pin the layout the "
+                        "codec roster assumes"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Annotation roster: unknown DCD_* tokens
 # --------------------------------------------------------------------------
 
@@ -895,5 +1218,108 @@ def emit_guard_map(models: list[cm.FileModel], cfg: dict) -> str:
     out.append("")
     out.append(f"{n_req} caller-contract functions, {n_local} with local "
                f"guard scopes, {n_exempt} recorded exemptions.")
+    out.append("")
+    return "\n".join(out)
+
+
+# --------------------------------------------------------------------------
+# Publication-map emission
+# --------------------------------------------------------------------------
+
+def emit_publication_map(models: list[cm.FileModel], cfg: dict) -> str:
+    """Render docs/PUBLICATION_MAP.md: every tracked allocation's publishing
+    store, its licence, and the verified-vs-vouched state of each rostered
+    field. Drift-gated like PROOF_MAP.md / GUARD_MAP.md."""
+    pcfg = cfg.get("publication", {})
+    scan_dirs = pcfg.get("scan_dirs", [])
+    alloc_tokens = list(pcfg.get("alloc_tokens", []))
+    publish_tokens = list(pcfg.get("publish_tokens", []))
+    rows_cfg = _pub_node_rows(cfg)
+
+    out = []
+    out.append("# Safe-publication map")
+    out.append("")
+    out.append("<!-- GENERATED FILE — do not edit by hand. -->")
+    out.append("<!-- Regenerate: python3 tools/analyze/analyze.py"
+               " --emit-publication-map docs/PUBLICATION_MAP.md -->")
+    out.append("")
+    out.append("Paper footnote 7: a pool node is thread-private from its")
+    out.append("allocation until the DCAS that links it into the structure,")
+    out.append("and only that privacy makes the plain field initialisation")
+    out.append("in between race-free. Pass 7 (`publication`,")
+    out.append("docs/STATIC_ANALYSIS.md §5) checks the discipline; this file")
+    out.append("is the rendered evidence. Each row is one publishing store:")
+    out.append("its `DCD_PUBLISHES` licence, and per rostered field whether")
+    out.append("the pass **verified** a write before the publish (with its")
+    out.append("line) or the licence **vouches** for a write the token model")
+    out.append("cannot see (an init helper, a callee).")
+    out.append("")
+    n_sites = n_verified = n_vouched = 0
+    for model in sorted(models, key=lambda m: m.path):
+        if not _in_dirs(model.path, scan_dirs):
+            continue
+        pub_by_line: dict[int, list[cm.PublishAnnotation]] = {}
+        for ann in model.publishes:
+            pub_by_line.setdefault(ann.line, []).append(ann)
+        file_rows = []
+        for fn in sorted(model.funcs, key=lambda f: f.line):
+            allocs, writes, sites = cm.extract_alloc_flow(
+                model.masked, fn, alloc_tokens, publish_tokens)
+            for var in allocs:
+                var_sites = [s for s in sites if s.var == var.name]
+                if not var_sites:
+                    continue
+                first = var_sites[0]
+                anns = pub_by_line.get(first.line, [])
+                point = anns[0].point if anns else "—"
+                vouched: set[str] = set()
+                for ann in anns:
+                    vouched.update(ann.fields)
+                row = _resolve_node_row(rows_cfg, var, model.path)
+                fields = (list(row.get("fields", [])) if row is not None
+                          else sorted(vouched))
+                cells = []
+                for f in fields:
+                    w = next((w for w in writes
+                              if w.var == var.name and w.field == f
+                              and w.off < first.off), None)
+                    if w is not None:
+                        cells.append(f"`{f}` ✓ l.{w.line}")
+                        n_verified += 1
+                    elif f in vouched:
+                        cells.append(f"`{f}` (vouched)")
+                        n_vouched += 1
+                    else:
+                        cells.append(f"`{f}` ✗")
+                file_rows.append((first.line, fn.name, var, point,
+                                  "<br>".join(cells)))
+                n_sites += 1
+        if not file_rows:
+            continue
+        out.append(f"## `{model.path}`")
+        out.append("")
+        out.append("| Publish site | Function | Node | Escape point |"
+                   " Fields before publish |")
+        out.append("|---|---|---|---|---|")
+        for line, func, var, point, cells in sorted(file_rows):
+            out.append(f"| `{pathlib.PurePosixPath(model.path).name}:{line}`"
+                       f" | `{func}` | `{var.name}` ({var.type}, alloc "
+                       f"l.{var.line}) | `{point}` | {cells} |")
+        out.append("")
+    out.append("## Node-field roster")
+    out.append("")
+    out.append("The plain fields each node type must have written (or")
+    out.append("vouched) before its publishing store:")
+    out.append("")
+    out.append("| Type | Declared in | Fields | Why |")
+    out.append("|---|---|---|---|")
+    for row in rows_cfg:
+        fields = ", ".join(f"`{f}`" for f in row.get("fields", []))
+        why = " ".join(row.get("why", "").split())
+        out.append(f"| `{row.get('type', '?')}` | `{row.get('file', '?')}` "
+                   f"| {fields} | {why} |")
+    out.append("")
+    out.append(f"{n_sites} publishing stores; {n_verified} field writes "
+               f"verified textually, {n_vouched} vouched by licence.")
     out.append("")
     return "\n".join(out)

@@ -6,13 +6,16 @@ ctest `analyze-all` target need:
 
   1. shared suppression-module self-test (tools/pylib/suppressions.py)
   2. atomics-audit self-test + strict tree run (tools/lint)
-  3. analyzer self-test + strict tree run, passes 1-6 (tools/analyze)
+  3. analyzer self-test + strict tree run, passes 1-8 (tools/analyze)
   4. proof-map drift gate (docs/PROOF_MAP.md vs DCD_LP annotations)
   5. guard-map drift gate (docs/GUARD_MAP.md vs guard annotations)
-  6. fixture corpus for passes 5/6 + annotation roster
+  6. publication-map drift gate (docs/PUBLICATION_MAP.md vs pass 7)
+  7. fixture corpus for passes 5-8 + annotation roster
+  8. (with --require-clang) the clang-frontend cross-check as a gate
 
-Any failing step fails the run; every step is executed regardless so a
-single invocation reports the whole gate's state. Exit 0 iff all pass.
+Every step is executed regardless of earlier failures and timed, so a
+single invocation reports the whole gate's state at a glance. Exit 0
+iff all pass; `--list` prints the step names and exits.
 """
 
 from __future__ import annotations
@@ -21,22 +24,15 @@ import argparse
 import pathlib
 import subprocess
 import sys
+import time
 
 HERE = pathlib.Path(__file__).resolve().parent
 REPO = HERE.parents[1]
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--root", type=pathlib.Path, default=REPO,
-                    help="repository root (default: this checkout)")
-    ap.add_argument("--build-dir", type=pathlib.Path, default=None,
-                    help="build dir with compile_commands.json for the "
-                         "clang cross-check (optional)")
-    args = ap.parse_args()
-    root = args.root.resolve()
+def build_steps(args: argparse.Namespace,
+                root: pathlib.Path) -> list[tuple[str, list[str]]]:
     py = sys.executable
-
     analyze = [py, str(HERE / "analyze.py")]
     tree = analyze + ["--root", str(root)]
     if args.build_dir is not None:
@@ -56,15 +52,59 @@ def main() -> int:
          tree + ["--check-proof-map", str(root / "docs/PROOF_MAP.md")]),
         ("guard-map drift",
          tree + ["--check-guard-map", str(root / "docs/GUARD_MAP.md")]),
-        ("guard/shared fixtures",
+        ("publication-map drift",
+         tree + ["--check-publication-map",
+                 str(root / "docs/PUBLICATION_MAP.md")]),
+        ("fixture corpus",
          [py, str(HERE / "check_fixtures.py")]),
     ]
+    if args.require_clang:
+        # `--frontend clang` exits 2 (config error) when the bindings are
+        # missing, so on a CI runner with python3-clang installed this leg
+        # gates frontend-divergence findings instead of best-efforting.
+        steps.append(("clang frontend cross-check (gating)",
+                      tree + ["--frontend", "clang", "--strict"]))
+    return steps
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path, default=REPO,
+                    help="repository root (default: this checkout)")
+    ap.add_argument("--build-dir", type=pathlib.Path, default=None,
+                    help="build dir with compile_commands.json for the "
+                         "clang cross-check (optional)")
+    ap.add_argument("--strict", action="store_true",
+                    help="accepted for explicitness: the tree analyses "
+                         "always run --strict here")
+    ap.add_argument("--require-clang", action="store_true",
+                    help="add a gating clang-frontend step (fails when the "
+                         "clang python bindings are unavailable)")
+    ap.add_argument("--list", action="store_true",
+                    help="print the step names and exit without running")
+    args = ap.parse_args()
+    root = args.root.resolve()
+    steps = build_steps(args, root)
+
+    if args.list:
+        for name, _ in steps:
+            print(name)
+        return 0
 
     failed: list[str] = []
+    timings: list[tuple[str, float, bool]] = []
     for name, cmd in steps:
         print(f"=== run_all: {name} ===", flush=True)
-        if subprocess.run(cmd, cwd=root).returncode != 0:
+        t0 = time.monotonic()
+        ok = subprocess.run(cmd, cwd=root).returncode == 0
+        timings.append((name, time.monotonic() - t0, ok))
+        if not ok:
             failed.append(name)
+
+    width = max(len(name) for name, _, _ in timings)
+    print("--- run_all timings ---")
+    for name, dt, ok in timings:
+        print(f"  {name:<{width}}  {dt:7.2f}s  {'ok' if ok else 'FAIL'}")
     if failed:
         print(f"run_all: FAILED ({', '.join(failed)})", file=sys.stderr)
         return 1
