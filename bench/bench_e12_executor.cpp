@@ -1,0 +1,131 @@
+// E12 — steal-throughput scaling of the fork/join executor (src/exec).
+//
+// E6 measures the deques under a hand-rolled steal loop; E12 measures the
+// real subsystem: Executor<Deque> with its eventcount park/unpark path,
+// worker-local task freelists, and randomized victim scans. Each iteration
+// submits one fork/join tree (depth 11 → 4095 tasks) from an external
+// thread and waits for the executor to drain it, so the parked→woken edge
+// and the injection path are inside the measured region — exactly the
+// traffic a server's request loop generates.
+//
+// Accounting is served-only: items processed = tasks actually executed
+// (read back from the executor's single-writer telemetry), never the
+// submitted count. The per-acquisition latency histogram is the executor's
+// own (cfg.latency_stride sampling), merged at quiescence.
+//
+// Sweep: workers 2/4/8 (state.range(0)) × {list,array} × {global-lock,
+// striped-lock, MCAS} DCAS policies, plus the Arora-Blumofe-Plaxton
+// restricted baseline (whose external submissions take the mutex inbox —
+// the re-injection asymmetry DESIGN.md §14 documents).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "dcd/baseline/arora_deque.hpp"
+#include "dcd/deque/array_deque.hpp"
+#include "dcd/deque/list_deque.hpp"
+#include "dcd/exec/executor.hpp"
+
+namespace {
+
+using dcd::bench::print_topology_once;
+using dcd::dcas::GlobalLockDcas;
+using dcd::dcas::McasDcas;
+using dcd::dcas::StripedLockDcas;
+using dcd::exec::ExecConfig;
+using dcd::exec::ExecStats;
+using dcd::exec::Executor;
+using dcd::exec::Task;
+using dcd::exec::TaskContext;
+
+constexpr std::uint64_t kDepth = 11;  // 2^12 - 1 = 4095 tasks per tree
+
+std::atomic<std::uint64_t> g_sum{0};
+
+void tree_task(TaskContext& ctx, Task& t) {
+  const std::uint64_t depth = t.args[0];
+  const std::uint64_t weight = t.args[1];
+  g_sum.fetch_add(depth * 0x9e3779b97f4a7c15ull + weight,
+                  std::memory_order_relaxed);
+  if (depth == 0) return;
+  for (std::uint64_t k = 0; k < 2; ++k) {
+    ctx.fork(ctx.create(&tree_task, nullptr, 0, depth - 1, weight * 2 + k));
+  }
+}
+
+std::uint64_t tree_expected(std::uint64_t depth, std::uint64_t weight) {
+  std::uint64_t sum = depth * 0x9e3779b97f4a7c15ull + weight;
+  if (depth == 0) return sum;
+  for (std::uint64_t k = 0; k < 2; ++k) {
+    sum += tree_expected(depth - 1, weight * 2 + k);
+  }
+  return sum;
+}
+
+template <typename Deque>
+void BM_ExecutorTree(benchmark::State& state) {
+  print_topology_once();
+  ExecConfig cfg;
+  cfg.workers = static_cast<std::size_t>(state.range(0));
+  cfg.latency_stride = 8;  // tasks are chunky; sample densely
+  Executor<Deque> ex(cfg);
+  g_sum.store(0, std::memory_order_relaxed);
+  std::uint64_t trees = 0;
+  for (auto _ : state) {
+    ex.submit(ex.create(&tree_task, nullptr, 0, kDepth, 1));
+    ex.wait_all();
+    ++trees;
+  }
+  if (g_sum.load(std::memory_order_relaxed) !=
+      trees * tree_expected(kDepth, 1)) {
+    state.SkipWithError("schedule-independent checksum mismatch");
+    return;
+  }
+  const ExecStats st = ex.stats();
+  // Served-only: count what the workers actually executed.
+  state.SetItemsProcessed(static_cast<std::int64_t>(st.executed));
+  const auto avg = benchmark::Counter::kAvgIterations;
+  state.counters["steals"] =
+      benchmark::Counter(static_cast<double>(st.steals), avg);
+  state.counters["failed_steals"] =
+      benchmark::Counter(static_cast<double>(st.failed_steals), avg);
+  state.counters["parks"] =
+      benchmark::Counter(static_cast<double>(st.parks), avg);
+  state.counters["injected"] =
+      benchmark::Counter(static_cast<double>(st.injected), avg);
+  dcd::bench::report_latency(state, ex.latency());
+}
+
+using ListGlobal = dcd::deque::ListDeque<Task*, GlobalLockDcas>;
+using ListStriped = dcd::deque::ListDeque<Task*, StripedLockDcas>;
+using ListMcas = dcd::deque::ListDeque<Task*, McasDcas>;
+using ArrayGlobal = dcd::deque::ArrayDeque<Task*, GlobalLockDcas>;
+using ArrayMcas = dcd::deque::ArrayDeque<Task*, McasDcas>;
+using Abp = dcd::baseline::AroraDeque<Task*>;
+
+// Worker-count sweep; the row name carries the count (".../4").
+#define E12_SWEEP(benchfn)               \
+  benchfn->Arg(2)                        \
+      ->Arg(4)                           \
+      ->Arg(8)                           \
+      ->Unit(benchmark::kMillisecond)    \
+      ->UseRealTime();
+
+E12_SWEEP(BENCHMARK_TEMPLATE(BM_ExecutorTree, ListGlobal)
+              ->Name("E12_ExecutorTree/list_global_lock"))
+E12_SWEEP(BENCHMARK_TEMPLATE(BM_ExecutorTree, ListStriped)
+              ->Name("E12_ExecutorTree/list_striped_lock"))
+E12_SWEEP(BENCHMARK_TEMPLATE(BM_ExecutorTree, ListMcas)
+              ->Name("E12_ExecutorTree/list_mcas"))
+E12_SWEEP(BENCHMARK_TEMPLATE(BM_ExecutorTree, ArrayGlobal)
+              ->Name("E12_ExecutorTree/array_global_lock"))
+E12_SWEEP(BENCHMARK_TEMPLATE(BM_ExecutorTree, ArrayMcas)
+              ->Name("E12_ExecutorTree/array_mcas"))
+E12_SWEEP(BENCHMARK_TEMPLATE(BM_ExecutorTree, Abp)
+              ->Name("E12_ExecutorTree/baseline_abp"))
+
+#undef E12_SWEEP
+
+}  // namespace

@@ -1,202 +1,251 @@
-// Work-stealing scheduler — the paper's §1 motivating application.
+// Work-stealing load generator — the paper's §1 motivating application,
+// driven through the src/exec fork/join executor (DESIGN.md §14).
 //
-// Each worker owns a deque of tasks: it pushes and pops work at the right
-// end (LIFO, cache-friendly), and idle workers steal from victims' left
-// ends (FIFO, takes the oldest/biggest task first). The paper cites Arora,
-// Blumofe & Plaxton's restricted CAS-only deque for exactly this pattern;
-// the DCAS deques support it with a *general* deque — both ends, push and
-// pop — so the same structure also serves schedulers that need to re-inject
-// work at either end.
+// Each executor worker owns a general DCAS deque: it pushes and pops work
+// at the right end (LIFO, cache-friendly) and idle workers steal from
+// victims' left ends (FIFO, oldest task first). The same workloads also
+// run against the Arora–Blumofe–Plaxton CAS-only baseline deque, whose
+// restricted interface forces external submissions through a mutex inbox
+// instead of the general deques' lock-free left-end injection.
 //
-// Workload: synthetic fork-join tree (each task forks `kFanout` children
-// until depth 0, then "executes" by accumulating its weight). The final sum
-// is schedule-independent, so it doubles as a correctness check.
+// Three workloads, each with a schedule-independent check:
+//   fib        — continuation-counting fork/join; result must equal the
+//                closed-form Fibonacci number.
+//   quicksort  — fork/join three-way quicksort of a shuffled array; the
+//                array must come back sorted with its element sum intact.
+//   replay     — external submitter threads inject a seeded stream of
+//                "request" task trees while the workers churn; the folded
+//                checksum must match a serial replay of the same stream.
 //
-//   $ ./work_stealing [workers] [seed_tasks] [depth]
+// Any mismatch exits nonzero, so the ctest `examples` smoke label doubles
+// as an end-to-end executor correctness gate.
+//
+//   $ ./work_stealing [workers] [fib_n] [sort_n] [requests]
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
-#include <optional>
+#include <numeric>
 #include <thread>
 #include <vector>
 
 #include "dcd/baseline/arora_deque.hpp"
 #include "dcd/deque/list_deque.hpp"
-#include "dcd/util/barrier.hpp"
+#include "dcd/exec/executor.hpp"
 #include "dcd/util/rng.hpp"
 #include "dcd/util/stopwatch.hpp"
 
 namespace {
 
-constexpr int kFanout = 2;
+using dcd::exec::ExecConfig;
+using dcd::exec::Executor;
+using dcd::exec::Latch;
+using dcd::exec::Task;
+using dcd::exec::TaskContext;
 
-struct Stats {
-  std::uint64_t executed = 0;
-  std::uint64_t steals = 0;
-  std::uint64_t failed_steals = 0;
-};
+bool g_all_ok = true;
 
-// Task encoding: (depth << 32) | weight.
-std::uint64_t make_task(std::uint64_t depth, std::uint64_t weight) {
-  return (depth << 32) | weight;
-}
-
-// Generic scheduler over any owner-push/pop + steal interface.
-template <typename PopOwn, typename PushOwn, typename Steal>
-void worker_loop(int id, std::atomic<std::int64_t>& outstanding,
-                 std::atomic<std::uint64_t>& sum, Stats& stats, int workers,
-                 PopOwn pop_own, PushOwn push_own, Steal steal) {
-  dcd::util::Xoshiro256 rng(id + 1);
-  while (outstanding.load(std::memory_order_acquire) > 0) {
-    std::optional<std::uint64_t> task = pop_own();
-    if (!task) {
-      const int victim = static_cast<int>(rng.below(workers));
-      task = steal(victim);
-      if (task) {
-        ++stats.steals;
-      } else {
-        ++stats.failed_steals;
-        std::this_thread::yield();
-        continue;
-      }
-    }
-    const std::uint64_t depth = *task >> 32;
-    const std::uint64_t weight = *task & 0xffffffffull;
-    if (depth == 0) {
-      sum.fetch_add(weight, std::memory_order_relaxed);
-      ++stats.executed;
-      outstanding.fetch_sub(1, std::memory_order_acq_rel);
-    } else {
-      outstanding.fetch_add(kFanout - 1, std::memory_order_acq_rel);
-      for (int c = 0; c < kFanout; ++c) {
-        push_own(make_task(depth - 1, weight));
-      }
-    }
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::printf("  FAILED: %s\n", what);
+    g_all_ok = false;
   }
 }
 
-std::uint64_t expected_sum(std::uint64_t seeds, std::uint64_t depth) {
-  std::uint64_t leaves = 1;
-  for (std::uint64_t d = 0; d < depth; ++d) leaves *= kFanout;
-  std::uint64_t sum = 0;
-  for (std::uint64_t i = 0; i < seeds; ++i) sum += leaves * (i + 1);
+// --- workload 1: fib via continuation counting -----------------------------
+
+void fib_sum(TaskContext&, Task& t) {
+  auto* out = reinterpret_cast<std::uint64_t*>(t.args[0]);
+  *out = t.args[1] + t.args[2];
+}
+
+void fib_task(TaskContext& ctx, Task& t) {
+  const std::uint64_t n = t.args[0];
+  auto* out = reinterpret_cast<std::uint64_t*>(t.args[1]);
+  if (n < 2) {
+    *out = n;
+    return;
+  }
+  Task* sum = ctx.create(&fib_sum, t.continuation, 2, t.args[1]);
+  t.continuation = nullptr;  // the subtree's completion now rides on `sum`
+  ctx.fork(ctx.create(&fib_task, sum, 0, n - 1,
+                      reinterpret_cast<std::uint64_t>(&sum->args[1])));
+  ctx.fork(ctx.create(&fib_task, sum, 0, n - 2,
+                      reinterpret_cast<std::uint64_t>(&sum->args[2])));
+}
+
+std::uint64_t fib_expected(std::uint64_t n) {
+  std::uint64_t a = 0, b = 1;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+// --- workload 2: fork/join quicksort ---------------------------------------
+
+constexpr std::uint64_t kSortLeaf = 512;
+
+void nop_join(TaskContext&, Task&) {}
+
+void sort_task(TaskContext& ctx, Task& t) {
+  auto* a = reinterpret_cast<std::uint64_t*>(t.args[0]);
+  const std::uint64_t lo = t.args[1];
+  const std::uint64_t hi = t.args[2];
+  if (hi - lo <= kSortLeaf) {
+    std::sort(a + lo, a + hi);
+    return;
+  }
+  // Three-way partition (robust to duplicate keys): [lo,m1) < pivot,
+  // [m1,m2) == pivot, [m2,hi) > pivot; only the strict sides recurse.
+  const std::uint64_t pivot = a[lo + (hi - lo) / 2];
+  std::uint64_t* m1 =
+      std::partition(a + lo, a + hi,
+                     [pivot](std::uint64_t x) { return x < pivot; });
+  std::uint64_t* m2 = std::partition(
+      m1, a + hi, [pivot](std::uint64_t x) { return x == pivot; });
+  Task* join = ctx.create(&nop_join, t.continuation, 2);
+  t.continuation = nullptr;
+  ctx.fork(ctx.create(&sort_task, join, 0, t.args[0], lo,
+                      static_cast<std::uint64_t>(m1 - a)));
+  ctx.fork(ctx.create(&sort_task, join, 0, t.args[0],
+                      static_cast<std::uint64_t>(m2 - a), hi));
+}
+
+// --- workload 3: request-replay mix ----------------------------------------
+//
+// A "request" is a small fork/join task tree whose every node folds its
+// (depth, weight) into a commutative global sum — so the total is
+// independent of which worker ran what in which order, and a serial replay
+// of the same seeded stream yields the exact expected value.
+
+std::atomic<std::uint64_t> g_replay_sum{0};
+
+void request_task(TaskContext& ctx, Task& t) {
+  const std::uint64_t depth = t.args[0];
+  const std::uint64_t weight = t.args[1];
+  g_replay_sum.fetch_add(depth * 0x9e3779b97f4a7c15ull + weight,
+                         std::memory_order_relaxed);
+  if (depth == 0) return;
+  for (std::uint64_t k = 0; k < 2; ++k) {
+    ctx.fork(
+        ctx.create(&request_task, nullptr, 0, depth - 1, weight * 2 + k));
+  }
+}
+
+std::uint64_t request_expected(std::uint64_t depth, std::uint64_t weight) {
+  std::uint64_t sum = depth * 0x9e3779b97f4a7c15ull + weight;
+  if (depth == 0) return sum;
+  for (std::uint64_t k = 0; k < 2; ++k) {
+    sum += request_expected(depth - 1, weight * 2 + k);
+  }
   return sum;
 }
 
-void run_on_dcas_deques(int workers, std::uint64_t seeds,
-                        std::uint64_t depth) {
-  using Deque = dcd::deque::ListDeque<std::uint64_t>;
-  std::vector<std::unique_ptr<Deque>> deques;
-  for (int w = 0; w < workers; ++w) {
-    deques.push_back(std::make_unique<Deque>(1 << 16));
-  }
-  std::atomic<std::uint64_t> sum{0};
-  std::atomic<std::int64_t> outstanding{0};
-  for (std::uint64_t i = 0; i < seeds; ++i) {
-    outstanding.fetch_add(1);
-    deques[i % workers]->push_right(make_task(depth, i + 1));
-  }
-  std::vector<Stats> stats(workers);
-  dcd::util::SpinBarrier barrier(workers);
+// --- driver ----------------------------------------------------------------
+
+struct Params {
+  std::size_t workers = 4;
+  std::uint64_t fib_n = 24;
+  std::uint64_t sort_n = 200000;
+  std::uint64_t requests = 256;
+};
+
+template <typename Deque>
+void run_suite(const char* label, const Params& p) {
+  ExecConfig cfg;
+  cfg.workers = p.workers;
+  Executor<Deque> ex(cfg);
   dcd::util::Stopwatch timer;
-  std::vector<std::thread> threads;
-  for (int w = 0; w < workers; ++w) {
-    threads.emplace_back([&, w] {
-      barrier.arrive_and_wait();
-      worker_loop(
-          w, outstanding, sum, stats[w], workers,
-          [&] { return deques[w]->pop_right(); },
-          [&](std::uint64_t t) {
-            while (deques[w]->push_right(t) !=
-                   dcd::deque::PushResult::kOkay) {
-              std::this_thread::yield();
-            }
-          },
-          [&](int victim) { return deques[victim]->pop_left(); });
-    });
+
+  // fib
+  std::uint64_t fib_result = 0;
+  Latch fib_latch(1);
+  ex.submit(ex.create(&fib_task, fib_latch.task(), 0, p.fib_n,
+                      reinterpret_cast<std::uint64_t>(&fib_result)));
+  ex.join(fib_latch);
+  check(fib_result == fib_expected(p.fib_n), "fib result");
+
+  // quicksort
+  std::vector<std::uint64_t> data(p.sort_n);
+  dcd::util::Xoshiro256 rng(42);
+  for (auto& v : data) v = rng.next() & 0xffffull;  // duplicates on purpose
+  const std::uint64_t sum_before =
+      std::accumulate(data.begin(), data.end(), std::uint64_t{0});
+  Latch sort_latch(1);
+  ex.submit(ex.create(&sort_task, sort_latch.task(), 0,
+                      reinterpret_cast<std::uint64_t>(data.data()), 0,
+                      p.sort_n));
+  ex.join(sort_latch);
+  check(std::is_sorted(data.begin(), data.end()), "quicksort order");
+  check(std::accumulate(data.begin(), data.end(), std::uint64_t{0}) ==
+            sum_before,
+        "quicksort element sum");
+
+  // request replay: two external submitters inject concurrently.
+  g_replay_sum.store(0, std::memory_order_relaxed);
+  std::uint64_t expected = 0;
+  {
+    dcd::util::Xoshiro256 stream(7);
+    for (std::uint64_t i = 0; i < p.requests; ++i) {
+      expected += request_expected(stream.below(7), i);
+    }
   }
-  for (auto& t : threads) t.join();
+  auto submitter = [&ex, &p](std::uint64_t lo, std::uint64_t hi) {
+    // Each submitter replays its slice of the same seeded stream.
+    dcd::util::Xoshiro256 stream(7);
+    for (std::uint64_t i = 0; i < p.requests; ++i) {
+      const std::uint64_t depth = stream.below(7);
+      if (i >= lo && i < hi) {
+        ex.submit(ex.create(&request_task, nullptr, 0, depth, i));
+      }
+    }
+  };
+  std::thread s1(submitter, 0, p.requests / 2);
+  std::thread s2(submitter, p.requests / 2, p.requests);
+  s1.join();
+  s2.join();
+  ex.wait_all();
+  check(g_replay_sum.load(std::memory_order_relaxed) == expected,
+        "replay checksum");
+
   const double secs = timer.elapsed_s();
-
-  Stats total;
-  for (const auto& s : stats) {
-    total.executed += s.executed;
-    total.steals += s.steals;
-    total.failed_steals += s.failed_steals;
-  }
-  const std::uint64_t expect = expected_sum(seeds, depth);
+  const dcd::exec::ExecStats st = ex.stats();
   std::printf(
-      "ListDeque<DCAS>: sum=%llu (%s), tasks=%llu, steals=%llu, "
-      "failed_steals=%llu, %.3fs\n",
-      (unsigned long long)sum.load(),
-      sum.load() == expect ? "correct" : "WRONG",
-      (unsigned long long)total.executed, (unsigned long long)total.steals,
-      (unsigned long long)total.failed_steals, secs);
-}
-
-void run_on_abp_deques(int workers, std::uint64_t seeds,
-                       std::uint64_t depth) {
-  using Deque = dcd::baseline::AroraDeque<std::uint64_t>;
-  std::vector<std::unique_ptr<Deque>> deques;
-  for (int w = 0; w < workers; ++w) {
-    deques.push_back(std::make_unique<Deque>(1 << 16));
-  }
-  std::atomic<std::uint64_t> sum{0};
-  std::atomic<std::int64_t> outstanding{0};
-  for (std::uint64_t i = 0; i < seeds; ++i) {
-    outstanding.fetch_add(1);
-    deques[i % workers]->push_bottom(make_task(depth, i + 1));
-  }
-  std::vector<Stats> stats(workers);
-  dcd::util::SpinBarrier barrier(workers);
-  dcd::util::Stopwatch timer;
-  std::vector<std::thread> threads;
-  for (int w = 0; w < workers; ++w) {
-    threads.emplace_back([&, w] {
-      barrier.arrive_and_wait();
-      worker_loop(
-          w, outstanding, sum, stats[w], workers,
-          [&] { return deques[w]->pop_bottom(); },
-          [&](std::uint64_t t) {
-            while (deques[w]->push_bottom(t) !=
-                   dcd::deque::PushResult::kOkay) {
-              std::this_thread::yield();
-            }
-          },
-          [&](int victim) { return deques[victim]->steal(); });
-    });
-  }
-  for (auto& t : threads) t.join();
-  const double secs = timer.elapsed_s();
-
-  Stats total;
-  for (const auto& s : stats) {
-    total.executed += s.executed;
-    total.steals += s.steals;
-    total.failed_steals += s.failed_steals;
-  }
-  const std::uint64_t expect = expected_sum(seeds, depth);
-  std::printf(
-      "AroraDeque<CAS>: sum=%llu (%s), tasks=%llu, steals=%llu, "
-      "failed_steals=%llu, %.3fs\n",
-      (unsigned long long)sum.load(),
-      sum.load() == expect ? "correct" : "WRONG",
-      (unsigned long long)total.executed, (unsigned long long)total.steals,
-      (unsigned long long)total.failed_steals, secs);
+      "%-18s executed=%llu steals=%llu failed_steals=%llu parks=%llu "
+      "injected=%llu  %.3fs\n",
+      label, (unsigned long long)st.executed, (unsigned long long)st.steals,
+      (unsigned long long)st.failed_steals, (unsigned long long)st.parks,
+      (unsigned long long)st.injected, secs);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
-  const std::uint64_t seeds = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                       : 64;
-  const std::uint64_t depth = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
-                                       : 8;
-  std::printf("work stealing: %d workers, %llu seed tasks, depth %llu\n",
-              workers, (unsigned long long)seeds, (unsigned long long)depth);
-  run_on_dcas_deques(workers, seeds, depth);
-  run_on_abp_deques(workers, seeds, depth);
+  Params p;
+  if (argc > 1) p.workers = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) p.fib_n = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) p.sort_n = std::strtoull(argv[3], nullptr, 10);
+  if (argc > 4) p.requests = std::strtoull(argv[4], nullptr, 10);
+  if (p.workers == 0 || p.sort_n == 0) {
+    std::fprintf(stderr, "usage: %s [workers] [fib_n] [sort_n] [requests]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::printf(
+      "work stealing executor: %zu workers, fib(%llu), sort %llu, "
+      "%llu requests\n",
+      p.workers, (unsigned long long)p.fib_n, (unsigned long long)p.sort_n,
+      (unsigned long long)p.requests);
+  run_suite<dcd::deque::ListDeque<Task*>>("ListDeque<DCAS>:", p);
+  run_suite<dcd::baseline::AroraDeque<Task*>>("AroraDeque<CAS>:", p);
+  if (!g_all_ok) {
+    std::printf("work_stealing: CHECKS FAILED\n");
+    return 1;
+  }
+  std::printf("work_stealing: all checks passed\n");
   return 0;
 }

@@ -330,6 +330,15 @@ inline constexpr const char* kElimClear = "elim.clear";
 // try-lock — parking here proves other threads keep allocating.
 inline constexpr const char* kMagazineRefill = "magazine.refill";
 inline constexpr const char* kMagazineFlush = "magazine.flush";
+// Executor idle-path windows (exec/executor.hpp), fired through
+// ChaosController::notify directly (dcd_exec links dcd_dcas, so no hook
+// indirection is needed). kExecSteal fires at the top of every victim
+// sweep, kExecPark right before a worker blocks on the eventcount, and
+// kExecInject on the external-submission path — parking at any of them
+// must leave the remaining workers draining the task graph.
+inline constexpr const char* kExecSteal = "exec.steal";
+inline constexpr const char* kExecPark = "exec.park";
+inline constexpr const char* kExecInject = "exec.inject";
 }  // namespace sync_point
 
 }  // namespace dcd::dcas

@@ -1,0 +1,64 @@
+// Uniform work-stealing face over the repo's deques.
+//
+// The executor's protocol is end-asymmetric: the owner pushes and pops its
+// *right* end (LIFO — hot child tasks stay cache-warm), thieves pop the
+// *left* end (FIFO — they take the oldest, largest-grained task, the
+// classic work-first argument). The general DCAS deques support one more
+// verb the ABP restricted deque cannot: `inject`, a lock-free push at the
+// thief end used for external (non-worker) submissions. ABP's restriction
+// — exactly one thread may ever touch the bottom end, and the top end is
+// pop-only — is what lets it avoid DCAS, and it is also why kRemoteInject
+// is false there: the executor routes external submissions for ABP through
+// a mutex-protected inbox instead. DESIGN.md §14 spells out the
+// comparison; bench_e12 measures it.
+#pragma once
+
+#include <optional>
+
+#include "dcd/baseline/arora_deque.hpp"
+#include "dcd/deque/types.hpp"
+
+namespace dcd::exec {
+
+// Primary mapping: any general deque exposing push/pop at both ends
+// (ListDeque, ArrayDeque, ListDequeDummy — anything satisfying the
+// paper's §2.2 interface).
+template <typename D>
+struct DequeTraits {
+  static constexpr bool kRemoteInject = true;
+
+  static deque::PushResult push_own(D& d, typename D::value_type v) {
+    return d.push_right(v);
+  }
+  static std::optional<typename D::value_type> pop_own(D& d) {
+    return d.pop_right();
+  }
+  static std::optional<typename D::value_type> steal(D& d) {
+    return d.pop_left();
+  }
+  static deque::PushResult inject(D& d, typename D::value_type v) {
+    return d.push_left(v);
+  }
+};
+
+// ABP restricted deque: owner verbs map to the bottom end, steal to the
+// top. There is no lock-free remote push — see the header comment.
+template <typename T>
+struct DequeTraits<baseline::AroraDeque<T>> {
+  static constexpr bool kRemoteInject = false;
+
+  static deque::PushResult push_own(baseline::AroraDeque<T>& d, T v) {
+    return d.push_bottom(v);
+  }
+  static std::optional<T> pop_own(baseline::AroraDeque<T>& d) {
+    return d.pop_bottom();
+  }
+  static std::optional<T> steal(baseline::AroraDeque<T>& d) {
+    return d.steal();
+  }
+  static deque::PushResult inject(baseline::AroraDeque<T>&, T) {
+    return deque::PushResult::kFull;  // unreachable; inbox path is used
+  }
+};
+
+}  // namespace dcd::exec

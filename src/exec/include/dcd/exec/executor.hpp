@@ -1,0 +1,544 @@
+// Fork/join work-stealing executor over the DCAS deques (§1's motivating
+// application, ROADMAP item 1).
+//
+// Topology: one deque per worker thread. The owner pushes and pops tasks
+// at its own end (LIFO depth-first — the hot child stays cache-warm);
+// idle workers sweep the other workers' deques in randomized order and
+// steal from the opposite end (FIFO — the oldest task is the coarsest
+// unit of work). DequeTraits maps those verbs onto the general DCAS
+// deques (ListDeque/ArrayDeque: right = owner, left = thief) and onto the
+// ABP restricted deque (bottom = owner, top = thief).
+//
+// External submission is where the general deques earn their keep: a
+// non-worker thread injects a task *lock-free* with a left push onto a
+// round-robin-chosen worker's deque. The ABP deque structurally cannot
+// accept a remote push (only the owner may touch the bottom end), so for
+// it — and as an overflow path for bounded general deques — submissions
+// fall back to a mutex-protected inbox that idle workers drain. That
+// asymmetry is the re-injection argument of DESIGN.md §14.
+//
+// Task handoff synchronization rides entirely on edges that already carry
+// proofs in this repo:
+//   * deque transfer   — the push's publishing DCAS / release store is the
+//     linearization point (PROOF_MAP rows for the deques); a task's plain
+//     fn/args writes precede the push and are collected by the pop.
+//   * join             — Task::pending acq_rel decrements; the child that
+//     hits zero acquires every sibling's effects before scheduling the
+//     continuation (task.hpp).
+//   * idle parking     — a Dekker handshake: the parking worker advertises
+//     itself (parked_), seq_cst-fences, then re-sweeps; the producer
+//     pushes, seq_cst-fences, then checks parked_. One side must see the
+//     other, so a task pushed concurrently with a park is never lost. The
+//     actual blocking is a mutex/condvar eventcount (wake_epoch_).
+//
+// Sync points (chaos.hpp roster): "exec.steal" fires at the top of every
+// victim sweep, "exec.park" immediately before the eventcount wait,
+// "exec.inject" on the external-submission path. They are notify-form
+// points (like magazine.refill/flush) — no DCAS shape to classify — fired
+// straight into ChaosController; parking a thread at any of them must
+// leave the remaining workers draining the task graph (exec chaos tests).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "dcd/dcas/chaos.hpp"
+#include "dcd/deque/types.hpp"
+#include "dcd/deque/value_codec.hpp"
+#include "dcd/exec/deque_traits.hpp"
+#include "dcd/exec/task.hpp"
+#include "dcd/util/align.hpp"
+#include "dcd/util/assert.hpp"
+#include "dcd/util/backoff.hpp"
+#include "dcd/util/rng.hpp"
+#include "dcd/util/stats.hpp"
+#include "dcd/util/thread_registry.hpp"
+
+namespace dcd::exec {
+
+struct ExecConfig {
+  // 0 = std::thread::hardware_concurrency().
+  std::size_t workers = 0;
+  // Per-worker deque capacity (ListDeque max_nodes / ArrayDeque capacity /
+  // AroraDeque capacity). On owner-push overflow the task runs inline.
+  std::size_t deque_capacity = 1 << 16;
+  // Consecutive dry sweeps before a worker parks on the eventcount.
+  std::uint32_t park_after = 16;
+  // Sample every Nth successful task acquisition into the per-worker
+  // latency histogram (0 disables sampling).
+  std::uint32_t latency_stride = 0;
+  // Seed for the per-worker victim-order RNGs (worker id is mixed in).
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  // Max recycled Task objects cached per worker.
+  std::size_t freelist_cap = 256;
+};
+
+// Aggregated telemetry (per-worker single-writer relaxed counters, summed;
+// exact when the executor is quiescent, like dcas::Telemetry).
+struct ExecStats {
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steals = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t dry_sweeps = 0;
+  std::uint64_t scan_pauses = 0;  // AdaptiveBackoff pauses() mirror
+  std::uint64_t scan_yields = 0;  // AdaptiveBackoff yields() mirror
+  std::uint64_t injected = 0;     // external submissions
+};
+
+namespace detail {
+// Which worker (and executor) the current thread is, if any. Keyed by
+// raw pointers so the executor type stays a template parameter.
+inline thread_local void* tl_worker = nullptr;
+inline thread_local const void* tl_executor = nullptr;
+}  // namespace detail
+
+template <typename Deque>
+class Executor {
+ public:
+  using Traits = DequeTraits<Deque>;
+  static_assert(std::is_same_v<typename Deque::value_type, Task*>,
+                "Executor requires a deque of Task* "
+                "(deque::ValueCodec<Task*> encodes the 8-aligned pointer)");
+
+  Executor() : Executor(ExecConfig{}) {}
+
+  explicit Executor(const ExecConfig& cfg) : cfg_(cfg) {
+    std::size_t n = cfg_.workers;
+    if (n == 0) {
+      n = std::thread::hardware_concurrency();
+      if (n == 0) n = 2;
+    }
+    DCD_ASSERT(n >= 1 && n <= util::ThreadRegistry::kMaxThreads);
+    workers_ = std::vector<Worker>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Worker& w = workers_[i];
+      w.owner = this;
+      w.id = i;
+      w.deque = std::make_unique<Deque>(cfg_.deque_capacity);
+      w.rng = util::Xoshiro256(cfg_.seed + 0x632be59bd9b4e019ull * (i + 1));
+    }
+    threads_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threads_.emplace_back([this, i] { worker_main(workers_[i]); });
+    }
+  }
+
+  ~Executor() {
+    wait_all();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_.store(true, std::memory_order_release);
+      wake_epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+    for (Worker& w : workers_) drain_freelist(w);
+  }
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  std::size_t workers() const noexcept { return workers_.size(); }
+
+  // Allocate a task. On a worker thread of this executor the worker's
+  // freelist serves the allocation; external threads heap-allocate.
+  Task* create(TaskFn fn, Task* continuation = nullptr,
+               std::uint32_t pending = 0, std::uint64_t a0 = 0,
+               std::uint64_t a1 = 0, std::uint64_t a2 = 0) {
+    if (Worker* w = self()) return w->create(fn, continuation, pending,
+                                             a0, a1, a2);
+    Task* t = new Task;
+    init_task(*t, fn, continuation, pending, a0, a1, a2);
+    return t;
+  }
+
+  // Make `t` runnable. Worker threads push their own deque (owner end);
+  // external threads inject lock-free at a round-robin victim's thief end
+  // when the deque supports it, else through the mutex inbox.
+  void submit(Task* t) {
+    DCD_ASSERT(t != nullptr && t->fn != nullptr);
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    if (Worker* w = self()) {
+      push_own(*w, t);
+    } else {
+      inject(t);
+    }
+    wake_one();
+  }
+
+  // Block until `latch` reaches zero. Worker threads *help*: they keep
+  // executing/stealing tasks while they wait (never parking — the latch
+  // may complete on another worker with every deque empty). External
+  // threads block on the completion condvar; every latch that hits zero
+  // notifies it.
+  void join(Latch& latch) {
+    if (Worker* w = self()) {
+      while (!latch.done()) {
+        if (Task* t = try_acquire(*w)) {
+          run(*w, t);
+        } else {
+          record_dry_sweep(*w);
+        }
+      }
+      return;
+    }
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] { return latch.done(); });
+  }
+
+  // Block until every submitted task has completed.
+  void wait_all() {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  ExecStats stats() const {
+    ExecStats s;
+    for (const Worker& w : workers_) {
+      s.executed += w.executed.load(std::memory_order_relaxed);
+      s.steals += w.steals.load(std::memory_order_relaxed);
+      s.failed_steals += w.failed_steals.load(std::memory_order_relaxed);
+      s.parks += w.parks.load(std::memory_order_relaxed);
+      s.dry_sweeps += w.dry_sweeps.load(std::memory_order_relaxed);
+      s.scan_pauses += w.scan_pauses.load(std::memory_order_relaxed);
+      s.scan_yields += w.scan_yields.load(std::memory_order_relaxed);
+    }
+    s.injected = injected_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // Merged per-worker task-acquisition latency (only meaningful when
+  // cfg.latency_stride > 0 and the executor is quiescent).
+  util::LatencyHistogram latency() const {
+    util::LatencyHistogram h;
+    for (const Worker& w : workers_) h.merge(w.lat);
+    return h;
+  }
+
+ private:
+  // Per-worker state. Plain members are single-threaded (owner worker
+  // only) or quiescent-read (stats/latency after wait_all); the
+  // cross-thread surface is the deque, the atomic counters, and the
+  // executor-level eventcount. Licensed in contracts.toml
+  // [[shared.struct]].
+  struct alignas(util::kCacheLineSize) Worker final : public TaskContext {
+    Executor* owner = nullptr;
+    std::size_t id = 0;
+    std::unique_ptr<Deque> deque;
+    util::Xoshiro256 rng{0};
+    util::AdaptiveBackoff scan_backoff;
+    util::LatencyHistogram lat;
+    std::uint64_t lat_tick = 0;
+    Task* free_head = nullptr;
+    std::size_t free_count = 0;
+    // Telemetry: single-writer (the owner worker), relaxed; aggregated by
+    // Executor::stats(). scan_pauses/scan_yields mirror the
+    // AdaptiveBackoff exact counts after every dry sweep so readers never
+    // touch the plain backoff state.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> failed_steals{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> dry_sweeps{0};
+    std::atomic<std::uint64_t> scan_pauses{0};
+    std::atomic<std::uint64_t> scan_yields{0};
+
+    Task* create(TaskFn fn, Task* continuation, std::uint32_t pending,
+                 std::uint64_t a0, std::uint64_t a1,
+                 std::uint64_t a2) override {
+      Task* t;
+      if (free_head != nullptr) {
+        t = free_head;
+        free_head = t->continuation;
+        --free_count;
+      } else {
+        t = new Task;
+      }
+      init_task(*t, fn, continuation, pending, a0, a1, a2);
+      return t;
+    }
+
+    void fork(Task* t) override {
+      DCD_ASSERT(t != nullptr && t->fn != nullptr);
+      owner->outstanding_.fetch_add(1, std::memory_order_relaxed);
+      owner->push_own(*this, t);
+      owner->wake_one();
+    }
+
+    std::size_t worker_id() const noexcept override { return id; }
+    std::size_t workers() const noexcept override {
+      return owner->workers_.size();
+    }
+  };
+
+  static void init_task(Task& t, TaskFn fn, Task* continuation,
+                        std::uint32_t pending, std::uint64_t a0,
+                        std::uint64_t a1, std::uint64_t a2) {
+    t.fn = fn;
+    t.continuation = continuation;
+    t.pending.store(pending, std::memory_order_relaxed);
+    t.args[0] = a0;
+    t.args[1] = a1;
+    t.args[2] = a2;
+    t.args[3] = 0;
+  }
+
+  Worker* self() const noexcept {
+    return detail::tl_executor == this
+               ? static_cast<Worker*>(detail::tl_worker)
+               : nullptr;
+  }
+
+  // Forward a named window to the installed chaos controller, if any
+  // (dcd_exec links dcd_dcas, so no hook indirection is needed — compare
+  // reclaim::magazine_hook()).
+  static void fire(const char* point) noexcept {
+    if (dcas::ChaosController* c = dcas::ChaosController::acquire()) {
+      c->notify(point);
+      dcas::ChaosController::unpin();
+    }
+  }
+
+  void worker_main(Worker& w) {
+    detail::tl_worker = &w;
+    detail::tl_executor = this;
+    // Claim the process-wide dense id up front: the deque's reclamation
+    // (EBR pins, MCAS descriptor pools) keys on it, and claiming it here
+    // keeps slot churn out of the steady state.
+    (void)util::ThreadRegistry::self();
+    std::uint32_t dry = 0;
+    for (;;) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (Task* t = try_acquire(w)) {
+        dry = 0;
+        run(w, t);
+        continue;
+      }
+      record_dry_sweep(w);
+      if (++dry >= cfg_.park_after) {
+        park(w);
+        dry = 0;
+      }
+    }
+    detail::tl_worker = nullptr;
+    detail::tl_executor = nullptr;
+  }
+
+  // One full acquisition attempt: own deque, then every other worker's
+  // deque once in randomized order, then the inbox. Returns nullptr on a
+  // dry sweep.
+  Task* try_acquire(Worker& w) {
+    const bool sample =
+        cfg_.latency_stride != 0 && ++w.lat_tick % cfg_.latency_stride == 0;
+    const auto t0 = sample ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+    Task* got = nullptr;
+    if (std::optional<Task*> t = Traits::pop_own(*w.deque)) {
+      got = *t;
+    } else {
+      const std::size_t n = workers_.size();
+      fire(dcas::sync_point::kExecSteal);
+      const std::size_t start = w.rng.below(n);
+      for (std::size_t i = 0; i < n && got == nullptr; ++i) {
+        const std::size_t v = (start + i) % n;
+        if (v == w.id) continue;
+        if (std::optional<Task*> t = Traits::steal(*workers_[v].deque)) {
+          got = *t;
+          w.steals.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          w.failed_steals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (got == nullptr) got = pop_inbox();
+    }
+    if (got != nullptr) {
+      w.scan_backoff.on_success();
+      if (sample) {
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        w.lat.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count()));
+      }
+    }
+    return got;
+  }
+
+  // Exactly one AdaptiveBackoff failure per dry sweep — the invariant the
+  // idle-path accounting test pins: scan_pauses == dry_sweeps always, and
+  // scan_yields is the backoff's exact escalation count.
+  void record_dry_sweep(Worker& w) {
+    w.dry_sweeps.fetch_add(1, std::memory_order_relaxed);
+    w.scan_backoff.on_failure();
+    w.scan_pauses.store(w.scan_backoff.pauses(), std::memory_order_relaxed);
+    w.scan_yields.store(w.scan_backoff.yields(), std::memory_order_relaxed);
+  }
+
+  void run(Worker& w, Task* t) {
+    t->fn(w, *t);
+    w.executed.fetch_add(1, std::memory_order_relaxed);
+    complete(w, t);
+  }
+
+  // Retire a finished task: recycle it, resolve its continuation, then
+  // settle the global outstanding count (in that order — a scheduled
+  // continuation is counted before this task's own decrement, so
+  // outstanding_ can only hit zero when the graph is truly drained).
+  void complete(Worker& w, Task* t) {
+    Task* c = t->continuation;
+    recycle(w, t);
+    if (c != nullptr &&
+        c->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (c->fn != nullptr) {
+        outstanding_.fetch_add(1, std::memory_order_relaxed);
+        push_own(w, c);
+        wake_one();
+      } else {
+        // Latch: wake external joiners.
+        std::lock_guard<std::mutex> lock(done_mu_);
+        done_cv_.notify_all();
+      }
+    }
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  void recycle(Worker& w, Task* t) {
+    if (w.free_count >= cfg_.freelist_cap) {
+      delete t;
+      return;
+    }
+    t->continuation = w.free_head;
+    w.free_head = t;
+    ++w.free_count;
+  }
+
+  void drain_freelist(Worker& w) {
+    while (w.free_head != nullptr) {
+      Task* t = w.free_head;
+      w.free_head = t->continuation;
+      delete t;
+    }
+    w.free_count = 0;
+  }
+
+  // Owner-end push; a full deque runs the task inline (depth-first), which
+  // is the standard bounded fallback — the task is runnable by definition.
+  void push_own(Worker& w, Task* t) {
+    if (Traits::push_own(*w.deque, t) != deque::PushResult::kOkay) {
+      run(w, t);
+    }
+  }
+
+  // External submission. Lock-free left push onto a rotating victim when
+  // the deque supports remote injection; the ABP deque (and the overflow
+  // path) goes through the inbox.
+  void inject(Task* t) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    fire(dcas::sync_point::kExecInject);
+    if constexpr (Traits::kRemoteInject) {
+      const std::size_t v =
+          inject_cursor_.fetch_add(1, std::memory_order_relaxed) %
+          workers_.size();
+      if (Traits::inject(*workers_[v].deque, t) == deque::PushResult::kOkay) {
+        return;
+      }
+    }
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.push_back(t);
+  }
+
+  Task* pop_inbox() {
+    // try_lock: a contended inbox just means another worker is draining
+    // it; this sweep stays dry and retries after backoff. FIFO, so
+    // injected requests keep their arrival order.
+    std::unique_lock<std::mutex> lock(inbox_mu_, std::try_to_lock);
+    if (!lock.owns_lock() || inbox_.empty()) return nullptr;
+    Task* t = inbox_.front();
+    inbox_.pop_front();
+    return t;
+  }
+
+  // Producer half of the Dekker handshake: publish the push (the fence
+  // orders it before the parked_ read), then wake one sleeper if any
+  // worker advertised itself.
+  void wake_one() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_relaxed) != 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        wake_epoch_.fetch_add(1, std::memory_order_relaxed);
+      }
+      cv_.notify_one();
+    }
+  }
+
+  // Consumer half: sample the epoch, advertise, fence, and re-sweep. Any
+  // task pushed before the producer's fence is visible to the re-sweep;
+  // any task pushed after it sees parked_ != 0 and bumps the epoch —
+  // which the wait predicate compares against the pre-advertise sample,
+  // so the wakeup cannot be missed.
+  void park(Worker& w) {
+    const std::uint64_t epoch = wake_epoch_.load(std::memory_order_relaxed);
+    parked_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (Task* t = try_acquire(w)) {
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      run(w, t);
+      return;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    w.parks.fetch_add(1, std::memory_order_relaxed);
+    fire(dcas::sync_point::kExecPark);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return wake_epoch_.load(std::memory_order_relaxed) != epoch ||
+               stop_.load(std::memory_order_relaxed);
+      });
+    }
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  ExecConfig cfg_;
+  std::vector<Worker> workers_;
+  std::vector<std::thread> threads_;
+
+  // Task-graph drain count: +1 per submitted/forked/scheduled task, -1 on
+  // completion; the acq_rel decrement to zero publishes the whole graph's
+  // effects to wait_all()'s acquire load.
+  std::atomic<std::uint64_t> outstanding_{0};
+  // Eventcount (see wake_one/park).
+  std::atomic<std::uint64_t> parked_{0};
+  std::atomic<std::uint64_t> wake_epoch_{0};
+  std::atomic<bool> stop_{false};
+  // External-submission telemetry + round-robin injection cursor.
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> inject_cursor_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::mutex inbox_mu_;
+  std::deque<Task*> inbox_;
+};
+
+}  // namespace dcd::exec

@@ -172,6 +172,21 @@ std::vector<Scenario> builtin_scenarios() {
     all.push_back(s);
   }
 
+  // Executor steal-vs-own-pop race (src/exec, DESIGN.md §14): the owner
+  // works its deque from the right (pop_own = popRight, and forks re-push
+  // there) while a thief steals from the left. With two tasks queued the
+  // contested middle element is handed off exactly once in every
+  // interleaving — the shape the executor's complete()/steal accounting
+  // relies on. Bound mirrors list-mixed (2 threads, 3+2 ops).
+  {
+    Scenario s;
+    s.name = "list-exec-steal-vs-own-pop";
+    s.deque = DequeKind::kList;
+    s.setup = {push_r(1), push_r(2)};
+    s.threads = {{pop_r(), push_r(3), pop_r()}, {pop_l(), pop_l()}};
+    all.push_back(s);
+  }
+
   // Suspended-popper shape: both threads pop the single element; one pop's
   // logical delete can sit unresolved (parked popper, §5.2) while the
   // other end must still prove emptiness or perform the physical delete.

@@ -63,6 +63,20 @@ TEST(McExplorer, ListSingleItemPopRaceExhaustiveClean) {
   expect_clean_exhaustive(mc::explore(builtin("list-single-item-pop-race")));
 }
 
+TEST(McExplorer, ListExecStealVsOwnPopExhaustiveClean) {
+  // Work-stealing executor shape (src/exec): owner pops/forks on the right
+  // while a thief pops the left. Every interleaving must hand off each
+  // task exactly once — a lost or duplicated middle element would show up
+  // as a linearizability violation here before it ever corrupts a
+  // fork/join checksum under chaos.
+  const mc::ExploreResult res =
+      mc::explore(builtin("list-exec-steal-vs-own-pop"));
+  expect_clean_exhaustive(res);
+  EXPECT_GT(res.stats.shape_steps[static_cast<std::size_t>(
+                dcas::DcasShape::kLogicalDelete)],
+            0u);
+}
+
 TEST(McExplorer, Figure16ScenarioVisitsTwoNullSplice) {
   // The engineered Figure 16 scenario must *provably* reach the paper's
   // two-logically-deleted-nodes state and resolve it with a successful

@@ -422,6 +422,20 @@ SELF_TEST_CASES = [
       "lp-clause-roster-gap",
       "sync-roster-gap",                  # dcas.any and pop.commit
       "sync-roster-gap"]),
+    ("src/deque/exec_notify_bad.hpp",
+     # Notify-form site (executor idiom: the constant IS the claim) against
+     # an exec point the seeded roster does not declare: the park rule it
+     # feeds could never be armed, so the site must be flagged.
+     "struct E {\n"
+     "  static void fire(dcas::ChaosController* c) {\n"
+     "    c->notify(sync_point::kExecPark);\n"
+     "  }\n"
+     "};\n",
+     ["unknown-sync-point",               # exec.park absent from roster
+      "lp-clause-roster-gap",             # no LP annotations at all ...
+      "lp-clause-roster-gap",             # ... so both clauses uncovered
+      "sync-roster-gap",                  # dcas.any never claimed ...
+      "sync-roster-gap"]),                # ... nor pop.commit
     ("src/deque/progress_bad.hpp",
      "struct D {\n"
      "  void h(W& w) {\n"

@@ -485,7 +485,20 @@ _ORDER_RE = re.compile(r"memory_order(?:::|_)(\w+)")
 
 _POLICY_CALL_RE = re.compile(r"\b(?:Dcas|Inner)::(dcas_view|dcas|cas)\s*\(")
 
-_NOTIFY_RE = re.compile(r"magazine_sync::k(Refill|Flush)\b")
+# Notify-form sync-point uses: the magazine hook names (reclaim cannot see
+# chaos.hpp, so it duplicates the strings) and the executor's direct
+# sync_point:: references (dcd_exec links dcd_dcas). Declarations in
+# chaos.hpp itself are unqualified, so the qualified pattern skips them.
+_NOTIFY_RE = re.compile(
+    r"(?:magazine_sync::k(?P<mag>Refill|Flush)"
+    r"|sync_point::kExec(?P<exec>Park|Steal|Inject))\b")
+
+# CamelCase constant suffix -> roster point name for the exec group.
+_EXEC_NOTIFY_POINTS = {
+    "Park": "exec.park",
+    "Steal": "exec.steal",
+    "Inject": "exec.inject",
+}
 
 _LOOP_RE = re.compile(
     r"\b(?:(?P<forever>for\s*\(\s*;\s*;\s*\))"
@@ -692,8 +705,11 @@ def extract_notify_sites(path: str, text: str,
         if "kRefill =" in text[m.start():m.end() + 3] or \
            "kFlush =" in text[m.start():m.end() + 3]:
             continue
-        point = ("magazine.refill" if m.group(1) == "Refill"
-                 else "magazine.flush")
+        if m.group("mag") is not None:
+            point = ("magazine.refill" if m.group("mag") == "Refill"
+                     else "magazine.flush")
+        else:
+            point = _EXEC_NOTIFY_POINTS[m.group("exec")]
         func = enclosing(scopes, m.start(), "func") or ""
         sites.append(CasSite("notify", point, func, path,
                              line_of(text, m.start())))

@@ -312,7 +312,17 @@ def run_sync_pass(models: list[cm.FileModel], cfg: dict,
         for site in model.cas_sites:
             if site.form == "notify":
                 # The call names its point directly; it claims the roster
-                # entry with no annotation needed.
+                # entry with no annotation needed — but the name must still
+                # resolve: a notify against a point the registry does not
+                # declare would silently never be armable.
+                if site.callee not in roster and site.callee not in pseudo:
+                    findings.append(Finding(
+                        "sync", "unknown-sync-point", site.path, site.line,
+                        f"notify-form sync point '{site.callee}' is neither "
+                        "in the chaos.hpp roster nor a declared pseudo-point "
+                        "in contracts.toml",
+                        _snippet(model, site.line)))
+                    continue
                 claimed.setdefault(site.callee, []).append(
                     (site.path, site.line))
                 continue
