@@ -197,8 +197,23 @@ class Executor {
     done_cv_.wait(lock, [&] { return latch.done(); });
   }
 
-  // Block until every submitted task has completed.
+  // Block until every submitted task has completed. On a worker thread
+  // (inside a task body) the caller's own task is counted in outstanding_,
+  // so blocking on zero would wait on itself; help instead — execute and
+  // steal until this task is the only one left in flight. (Cyclic waits —
+  // two tasks each wait_all()ing on the other — are unresolvable misuse
+  // and spin here rather than deadlock silently on the condvar.)
   void wait_all() {
+    if (Worker* w = self()) {
+      while (outstanding_.load(std::memory_order_acquire) > 1) {
+        if (Task* t = try_acquire(*w)) {
+          run(*w, t);
+        } else {
+          record_dry_sweep(*w);
+        }
+      }
+      return;
+    }
     std::unique_lock<std::mutex> lock(done_mu_);
     done_cv_.wait(lock, [&] {
       return outstanding_.load(std::memory_order_acquire) == 0;
@@ -399,16 +414,23 @@ class Executor {
   void complete(Worker& w, Task* t) {
     Task* c = t->continuation;
     recycle(w, t);
-    if (c != nullptr &&
-        c->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      if (c->fn != nullptr) {
-        outstanding_.fetch_add(1, std::memory_order_relaxed);
-        push_own(w, c);
-        wake_one();
-      } else {
-        // Latch: wake external joiners.
-        std::lock_guard<std::mutex> lock(done_mu_);
-        done_cv_.notify_all();
+    if (c != nullptr) {
+      // Read fn (immutable after init) BEFORE the releasing decrement: for
+      // a Latch the decrement to zero hands ownership to the joiner, who
+      // may observe done(), return, and destroy the caller-owned Latch —
+      // so no field of *c may be touched once the fetch_sub is published.
+      const TaskFn cfn = c->fn;
+      if (c->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (cfn != nullptr) {
+          outstanding_.fetch_add(1, std::memory_order_relaxed);
+          push_own(w, c);
+          wake_one();
+        } else {
+          // Latch: wake external joiners (done_mu_/done_cv_ are executor
+          // members — still no touch of the possibly-freed Latch).
+          std::lock_guard<std::mutex> lock(done_mu_);
+          done_cv_.notify_all();
+        }
       }
     }
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {

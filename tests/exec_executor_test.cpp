@@ -207,6 +207,66 @@ TEST(ExecutorBasics, LatencySamplingRecordsWhenEnabled) {
   EXPECT_GE(ex.latency().total(), ex.stats().executed / 2);
 }
 
+// --- on-worker wait_all() and Latch lifetime --------------------------------
+
+using ListExec = Executor<deque::ListDeque<Task*>>;
+
+void forks_then_waits_all(TaskContext& ctx, Task& t) {
+  auto* ex = reinterpret_cast<ListExec*>(t.args[0]);
+  auto* snapshot = reinterpret_cast<std::uint64_t*>(t.args[1]);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ctx.fork(ctx.create(&tree_task, nullptr, 0, 3, i));
+  }
+  // wait_all() on a worker must help-drain: the caller's own task is
+  // counted in outstanding_, so blocking on the condvar here can never be
+  // satisfied (and with one worker nobody else runs the children).
+  ex->wait_all();
+  *snapshot = g_checksum.load(std::memory_order_relaxed);
+}
+
+TEST(ExecutorBasics, WaitAllFromWorkerTaskHelpsInsteadOfDeadlocking) {
+  g_checksum.store(0, std::memory_order_relaxed);
+  ListExec ex(ExecConfig{.workers = 1});
+  std::uint64_t snapshot = 0;
+  Latch latch(1);
+  ex.submit(ex.create(&forks_then_waits_all, latch.task(), 0,
+                      reinterpret_cast<std::uint64_t>(&ex),
+                      reinterpret_cast<std::uint64_t>(&snapshot)));
+  ex.join(latch);
+  std::uint64_t want = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) want += tree_expected(3, i);
+  // Every forked child completed before wait_all() returned.
+  EXPECT_EQ(snapshot, want);
+}
+
+void inner_join_rounds(TaskContext& ctx, Task& t) {
+  auto* ex = reinterpret_cast<ListExec*>(t.args[0]);
+  for (int round = 0; round < 128; ++round) {
+    // Stack-allocated latch, destroyed the instant done() is observed.
+    // The completing worker's decrement-to-zero must not touch the Task
+    // afterwards (complete() reads fn before the fetch_sub) — TSan flags
+    // the old read-after-release here.
+    Latch latch(4);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      ctx.fork(ctx.create(&tree_task, latch.task(), 0, 1, i));
+    }
+    ex->join(latch);  // worker help loop polls latch.done()
+  }
+}
+
+TEST(ExecutorBasics, WorkerJoinOnStackLatchSurvivesManyRounds) {
+  g_checksum.store(0, std::memory_order_relaxed);
+  ListExec ex(ExecConfig{.workers = 4});
+  Latch outer(1);
+  ex.submit(ex.create(&inner_join_rounds, outer.task(), 0,
+                      reinterpret_cast<std::uint64_t>(&ex)));
+  ex.join(outer);
+  ex.wait_all();  // grandchildren are fire-and-forget; drain them too
+  std::uint64_t want = 0;
+  for (std::uint64_t i = 0; i < 4; ++i) want += tree_expected(1, i);
+  EXPECT_EQ(g_checksum.load(std::memory_order_relaxed), 128 * want);
+}
+
 // --- idle-path backoff accounting (satellite: PR 6 yields() contract) -----
 //
 // Chaos-parks the single worker at exec.park: wait_parked() gives a
