@@ -41,6 +41,7 @@ class AroraDeque {
     if (bot - top >= capacity_) return deque::PushResult::kFull;
     cells_[bot % capacity_].store(Codec::encode(v),
                                   std::memory_order_relaxed);
+    // DCD_HB(abp.age.protocol, role=release)
     bot_->store(bot + 1, std::memory_order_release);
     return deque::PushResult::kOkay;
   }
@@ -65,6 +66,7 @@ class AroraDeque {
     const std::uint64_t new_age = make_age(tag_of(old_age) + 1, 0);
     if (bot == top) {
       std::uint64_t expected = old_age;
+      // DCD_SYNC(baseline-rival)
       if (age_->compare_exchange_strong(expected, new_age,
                                         std::memory_order_seq_cst)) {
         return Codec::decode(word);  // won the race against thieves
@@ -83,6 +85,8 @@ class AroraDeque {
     const std::uint64_t word =
         cells_[top % capacity_].load(std::memory_order_relaxed);
     std::uint64_t expected = old_age;
+    // DCD_SYNC(baseline-rival)
+    // DCD_HB(abp.age.protocol, role=acquire)
     if (age_->compare_exchange_strong(expected,
                                       make_age(tag_of(old_age), top + 1),
                                       std::memory_order_seq_cst)) {

@@ -72,9 +72,11 @@ class PackedEndsDeque {
       if (!dcas::is_null(cell)) {
         // Both indices were read atomically, but fullness still needs the
         // cell content (same ambiguity as §3), confirmed by DCAS.
+        // DCD_SYNC(empty.confirm)
         if (Dcas::dcas(*ends_, s_[r], ends, cell, ends, cell)) {
           return deque::PushResult::kFull;
         }
+        // DCD_SYNC(dcas.any)
       } else if (Dcas::dcas(*ends_, s_[r], ends, cell,
                             pack(l, mod_inc(r)), vw)) {
         return deque::PushResult::kOkay;
@@ -91,9 +93,11 @@ class PackedEndsDeque {
       const std::size_t l = left_of(ends), r = right_of(ends);
       const std::uint64_t cell = Dcas::load(s_[l]);
       if (!dcas::is_null(cell)) {
+        // DCD_SYNC(empty.confirm)
         if (Dcas::dcas(*ends_, s_[l], ends, cell, ends, cell)) {
           return deque::PushResult::kFull;
         }
+        // DCD_SYNC(dcas.any)
       } else if (Dcas::dcas(*ends_, s_[l], ends, cell,
                             pack(mod_dec(l), r), vw)) {
         return deque::PushResult::kOkay;
@@ -110,9 +114,11 @@ class PackedEndsDeque {
       const std::size_t target = mod_dec(r);
       const std::uint64_t cell = Dcas::load(s_[target]);
       if (dcas::is_null(cell)) {
+        // DCD_SYNC(empty.confirm)
         if (Dcas::dcas(*ends_, s_[target], ends, cell, ends, cell)) {
           return std::nullopt;
         }
+        // DCD_SYNC(pop.commit)
       } else if (Dcas::dcas(*ends_, s_[target], ends, cell,
                             pack(l, target), dcas::kNull)) {
         return Codec::decode(cell);
@@ -129,9 +135,11 @@ class PackedEndsDeque {
       const std::size_t target = mod_inc(l);
       const std::uint64_t cell = Dcas::load(s_[target]);
       if (dcas::is_null(cell)) {
+        // DCD_SYNC(empty.confirm)
         if (Dcas::dcas(*ends_, s_[target], ends, cell, ends, cell)) {
           return std::nullopt;
         }
+        // DCD_SYNC(pop.commit)
       } else if (Dcas::dcas(*ends_, s_[target], ends, cell,
                             pack(target, r), dcas::kNull)) {
         return Codec::decode(cell);

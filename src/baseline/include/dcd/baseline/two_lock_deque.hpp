@@ -106,9 +106,11 @@ class TwoLockDeque {
   static constexpr std::size_t kBothLockThreshold = 4;
 
   bool fast_region_for_pop() const noexcept {
+    // DCD_HB_EXEMPT(heuristic mode pick; the taken lock carries the real edge and a stale read only costs a slow-path trip)
     return count_.load(std::memory_order_acquire) >= kBothLockThreshold;
   }
   bool fast_region_for_push() const noexcept {
+    // DCD_HB_EXEMPT(heuristic mode pick; the taken lock carries the real edge and a stale read only costs a slow-path trip)
     const std::size_t c = count_.load(std::memory_order_acquire);
     // Stay out of both-lock mode only when comfortably inside the
     // boundaries: far from empty (end collision) and far from capacity

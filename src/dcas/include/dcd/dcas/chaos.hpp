@@ -150,6 +150,7 @@ class ChaosController {
   // The installed controller, or nullptr (the fast path every ChaosDcas
   // call checks first).
   static ChaosController* active() noexcept {
+    // DCD_HB(chaos.controller.install, role=acquire)
     return active_.load(std::memory_order_acquire);
   }
 
@@ -166,6 +167,7 @@ class ChaosController {
     return c;
   }
   static void unpin() noexcept {
+    // DCD_HB(chaos.pin.teardown, role=release)
     pins_.fetch_sub(1, std::memory_order_release);
   }
 

@@ -24,6 +24,7 @@ class GlobalLockDcas {
 
   static std::uint64_t load(const Word& w) noexcept {
     ++Telemetry::tl().loads;
+    // DCD_HB(deque.word.publish, role=acquire)
     return w.raw.load(std::memory_order_acquire);
   }
 

@@ -134,6 +134,7 @@ struct ChaosController::Impl {
   }
 
   void fire(const char* point) {
+    // DCD_HB(chaos.rules.publish, role=acquire)
     const std::size_t n = rule_count.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
       Rule& r = rules[i];
@@ -143,9 +144,11 @@ struct ChaosController::Impl {
       if (hit != r.nth) continue;
       std::unique_lock<std::mutex> lk(mu);
       // A rule released before its nth hit is spent, not re-armed.
+      // DCD_HB(chaos.rule.fire, role=acquire)
       if (shutting_down || r.state.load(std::memory_order_acquire) == 2) {
         continue;
       }
+      // DCD_HB(chaos.rule.fire, role=release)
       r.state.store(1, std::memory_order_release);
       cv.notify_all();
       cv.wait(lk, [&] {
@@ -171,10 +174,12 @@ struct ChaosController::Impl {
 
 ChaosController::ChaosController(const ChaosSchedule& schedule)
     : impl_(new Impl(schedule)), schedule_(schedule) {
+  // DCD_HB(magazine.hook.install, role=release)
   reclaim::magazine_hook().store(&magazine_trampoline,
                                  std::memory_order_release);
   ChaosController* expected = nullptr;
   // DCD_SYNC(policy-internal)
+  // DCD_HB(chaos.controller.install, role=release)
   const bool installed = active_.compare_exchange_strong(
       expected, this, std::memory_order_acq_rel);
   DCD_ASSERT(installed && "only one ChaosController may be active");
@@ -194,6 +199,7 @@ ChaosController::~ChaosController() {
     }
   }
   impl_->cv.notify_all();
+  // DCD_HB(chaos.pin.teardown, role=acquire)
   while (pins_.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
@@ -207,6 +213,7 @@ std::size_t ChaosController::arm_park(const char* point, std::uint64_t nth) {
   DCD_ASSERT(nth >= 1);
   impl_->rules[i].point = point;
   impl_->rules[i].nth = nth;
+  // DCD_HB(chaos.rules.publish, role=release)
   impl_->rule_count.store(i + 1, std::memory_order_release);
   return i;
 }
@@ -242,20 +249,24 @@ void ChaosController::release_all() {
 }
 
 std::uint64_t ChaosController::attempts(DcasShape s) const noexcept {
+  // DCD_HB_EXEMPT(telemetry snapshot read after the workload quiesces; no edge claimed)
   return impl_->attempts[static_cast<std::size_t>(s)].load(
       std::memory_order_acquire);
 }
 
 std::uint64_t ChaosController::successes(DcasShape s) const noexcept {
+  // DCD_HB_EXEMPT(telemetry snapshot read after the workload quiesces; no edge claimed)
   return impl_->successes[static_cast<std::size_t>(s)].load(
       std::memory_order_acquire);
 }
 
 std::uint64_t ChaosController::forced_failures() const noexcept {
+  // DCD_HB_EXEMPT(telemetry snapshot read after the workload quiesces; no edge claimed)
   return impl_->forced_failures.load(std::memory_order_acquire);
 }
 
 std::uint64_t ChaosController::delays_injected() const noexcept {
+  // DCD_HB_EXEMPT(telemetry snapshot read after the workload quiesces; no edge claimed)
   return impl_->delays.load(std::memory_order_acquire);
 }
 

@@ -32,6 +32,7 @@ bool GlobalLockDcas::cas(Word& w, std::uint64_t oldv,
   g_lock->lock();
   const std::uint64_t v = w.raw.load(std::memory_order_relaxed);
   const bool ok = (v == oldv);
+  // DCD_HB(deque.word.publish, role=release)
   if (ok) w.raw.store(newv, std::memory_order_seq_cst);
   g_lock->unlock();
   return ok;

@@ -161,6 +161,7 @@ std::uint64_t rdcss(RdcssDesc* d) {
 // Caller must be pinned in the global EBR domain.
 // DCD_REQUIRES_GUARD(caller is pinned in the global EBR domain by the dcas/casn entry guard)
 bool mcas_help(McasDesc* d) {
+  // DCD_HB(mcas.status.decide, role=acquire)
   if (d->status.load(std::memory_order_acquire) == kUndecided) {
     // Phase 1: install the descriptor in both words (ascending address
     // order — established at creation — so concurrent MCASes cannot
@@ -185,6 +186,7 @@ bool mcas_help(McasDesc* d) {
     }
     std::uint64_t expected = kUndecided;
     // DCD_SYNC(policy-internal)
+    // DCD_HB(mcas.status.decide, role=release)
     d->status.compare_exchange_strong(expected, desired,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire);

@@ -21,6 +21,7 @@ const char* access_kind_name(AccessKind k) noexcept {
 }
 
 SchedClient* sched_client() noexcept {
+  // DCD_HB(mc.client.install, role=acquire)
   return g_client.load(std::memory_order_acquire);
 }
 
@@ -28,6 +29,7 @@ void install_sched_client(SchedClient* client) noexcept {
   DCD_ASSERT(client != nullptr);
   SchedClient* expected = nullptr;
   // DCD_SYNC(policy-internal)
+  // DCD_HB(mc.client.install, role=release)
   const bool installed = g_client.compare_exchange_strong(
       expected, client, std::memory_order_acq_rel, std::memory_order_acquire);
   DCD_ASSERT(installed && "only one SchedClient may be installed");

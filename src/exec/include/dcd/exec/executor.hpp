@@ -138,6 +138,7 @@ class Executor {
     wait_all();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // DCD_HB(exec.stop.latch, role=release)
       stop_.store(true, std::memory_order_release);
       wake_epoch_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -216,6 +217,7 @@ class Executor {
     }
     std::unique_lock<std::mutex> lock(done_mu_);
     done_cv_.wait(lock, [&] {
+      // DCD_HB(exec.drain.outstanding, role=acquire)
       return outstanding_.load(std::memory_order_acquire) == 0;
     });
   }
@@ -336,6 +338,7 @@ class Executor {
     (void)util::ThreadRegistry::self();
     std::uint32_t dry = 0;
     for (;;) {
+      // DCD_HB(exec.stop.latch, role=acquire)
       if (stop_.load(std::memory_order_acquire)) break;
       if (Task* t = try_acquire(w)) {
         dry = 0;
@@ -420,6 +423,8 @@ class Executor {
       // may observe done(), return, and destroy the caller-owned Latch —
       // so no field of *c may be touched once the fetch_sub is published.
       const TaskFn cfn = c->fn;
+      // DCD_HB(exec.join.pending, role=release)
+      // DCD_HB(exec.join.pending, role=acquire)
       if (c->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         if (cfn != nullptr) {
           outstanding_.fetch_add(1, std::memory_order_relaxed);
@@ -433,6 +438,7 @@ class Executor {
         }
       }
     }
+    // DCD_HB(exec.drain.outstanding, role=release)
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(done_mu_);
       done_cv_.notify_all();
@@ -499,6 +505,7 @@ class Executor {
   // orders it before the parked_ read), then wake one sleeper if any
   // worker advertised itself.
   void wake_one() {
+    // DCD_HB(exec.park.dekker, role=fence-acquire)
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (parked_.load(std::memory_order_relaxed) != 0) {
       {
@@ -517,6 +524,7 @@ class Executor {
   void park(Worker& w) {
     const std::uint64_t epoch = wake_epoch_.load(std::memory_order_relaxed);
     parked_.fetch_add(1, std::memory_order_relaxed);
+    // DCD_HB(exec.park.dekker, role=fence-release)
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (Task* t = try_acquire(w)) {
       parked_.fetch_sub(1, std::memory_order_relaxed);

@@ -76,6 +76,7 @@ class Latch {
 
   Task* task() noexcept { return &task_; }
   bool done() const noexcept {
+    // DCD_HB(exec.join.pending, role=acquire)
     return task_.pending.load(std::memory_order_acquire) == 0;
   }
 

@@ -203,6 +203,7 @@ class MagazinePool {
   };
 
   static void fire(const char* point) noexcept {
+    // DCD_HB(magazine.hook.install, role=acquire)
     if (MagazineHook h = magazine_hook().load(std::memory_order_acquire)) {
       h(point);
     }

@@ -55,6 +55,7 @@ class NodePool {
   // other threads may be deallocating concurrently.
   // DCD_REQUIRES_GUARD(Treiber pop reads head->next; the caller's EBR guard keeps head unreclaimed)
   void* allocate() noexcept {
+    // DCD_HB(pool.free-list.reuse, role=acquire)
     FreeNode* head = head_->load(std::memory_order_acquire);
     while (head != nullptr) {
       FreeNode* next = head->next.load(std::memory_order_relaxed);
@@ -80,6 +81,7 @@ class NodePool {
     do {
       fn->next.store(head, std::memory_order_relaxed);
       // DCD_SYNC(allocator-internal)
+      // DCD_HB(pool.free-list.reuse, role=release)
     } while (!head_->compare_exchange_weak(head, fn,
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed));

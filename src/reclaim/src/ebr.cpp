@@ -18,10 +18,12 @@ std::size_t EbrDomain::enter() {
   const std::size_t s = util::ThreadRegistry::self();
   SlotState& slot = *slots_[s];
   if (slot.nesting++ == 0) {
+    // DCD_HB(ebr.epoch.grace, role=acquire)
     const std::uint64_t e = global_epoch_->load(std::memory_order_acquire);
     slot.pinned.store(e, std::memory_order_relaxed);
     // Order the pin before any subsequent shared-memory load and make it
     // visible to the advance scan.
+    // DCD_HB(ebr.pin.scan, role=fence-release)
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
   return s;
@@ -59,6 +61,7 @@ bool EbrDomain::try_advance() {
   const std::size_t n = util::ThreadRegistry::high_watermark();
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t pinned =
+        // DCD_HB(ebr.pin.scan, role=acquire)
         slots_[i]->pinned.load(std::memory_order_seq_cst);
     if (pinned != 0 && pinned != g) {
       return false;  // A straggler pins an older epoch.
@@ -66,6 +69,7 @@ bool EbrDomain::try_advance() {
   }
   std::uint64_t expected = g;
   // DCD_SYNC(allocator-internal)
+  // DCD_HB(ebr.epoch.grace, role=release)
   return global_epoch_->compare_exchange_strong(expected, g + 1,
                                                 std::memory_order_acq_rel);
 }

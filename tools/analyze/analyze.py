@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """AST-grade concurrency analyzer for the DCAS deque tree.
 
-Eight passes over src/ (see passes.py and tools/analyze/README.md):
+Nine passes over src/ (see passes.py and tools/analyze/README.md):
 
   contract     every atomic access checked against the per-field
                memory-order contract table in contracts.toml (pairing,
@@ -35,6 +35,14 @@ Eight passes over src/ (see passes.py and tools/analyze/README.md):
                helpers, which are cross-checked against the compile-time
                tag-disjointness audit and the property tests their roster
                rows name
+  hb           every intended synchronizes-with edge is named in the
+               [[hb.edge]] roster and proven two-sided by DCD_HB
+               endpoint annotations (release/acquire, or the SC-fence
+               pair shape for kind="fence" edges); every
+               acquire-or-stronger load and every atomic_thread_fence
+               must be licensed by an edge or DCD_HB_EXEMPT(why); each
+               edge cross-references a chaos sync point or mc scenario,
+               and the map is rendered into docs/HB_MAP.md
 
 Plus the annotation roster check: any DCD_* token outside the known set
 ([annotations] in contracts.toml) is an `unknown-annotation` finding.
@@ -98,6 +106,9 @@ RULE_IDS = (
     "post-publication-plain-write", "publishes-mismatch",
     # pass 8: codec
     "raw-word-arithmetic", "codec-drift",
+    # pass 9: hb
+    "unrostered-hb-edge", "one-sided-hb-edge", "fence-without-edge",
+    "insufficient-order-for-edge",
     # cross-cutting
     "unknown-annotation", "malformed-annotation", "frontend-divergence",
 )
@@ -142,7 +153,7 @@ def load_config(path: pathlib.Path) -> dict:
 def scan_dir_union(cfg: dict) -> list[str]:
     dirs: list[str] = []
     for section in ("contract", "sync", "progress", "lp", "guard", "shared",
-                    "publication", "codec"):
+                    "publication", "codec", "hb"):
         for d in cfg.get(section, {}).get("scan_dirs", []):
             if d not in dirs:
                 dirs.append(d)
@@ -176,7 +187,7 @@ def build_models(root: pathlib.Path,
 
 
 def load_rosters(root: pathlib.Path,
-                 cfg: dict) -> tuple[set[str], set[str]]:
+                 cfg: dict) -> tuple[set[str], set[str], set[str]]:
     reg = root / cfg.get("sync", {}).get(
         "registry", "src/dcas/include/dcd/dcas/chaos.hpp")
     if not reg.is_file():
@@ -191,7 +202,16 @@ def load_rosters(root: pathlib.Path,
     clauses = cm.parse_auditor_roster(aud.read_text())
     if not clauses:
         config_error(f"no audit clauses found in {aud}")
-    return roster, clauses
+    scenarios: set[str] = set()
+    scen = cfg.get("hb", {}).get("scenarios", "")
+    if scen:
+        sp = root / scen
+        if not sp.is_file():
+            config_error(f"mc scenario source missing: {sp}")
+        scenarios = cm.parse_scenario_roster(sp.read_text())
+        if not scenarios:
+            config_error(f"no scenario names found in {sp}")
+    return roster, clauses, scenarios
 
 
 def load_codec_aux(root: pathlib.Path, cfg: dict) -> dict[str, str]:
@@ -211,7 +231,8 @@ def load_codec_aux(root: pathlib.Path, cfg: dict) -> dict[str, str]:
 
 def run_all_passes(models: list[cm.FileModel], cfg: dict, roster: set[str],
                    clauses: set[str],
-                   codec_aux: dict[str, str] | None = None
+                   codec_aux: dict[str, str] | None = None,
+                   scenarios: set[str] | None = None
                    ) -> list[passes.Finding]:
     findings: list[passes.Finding] = []
     findings += passes.run_contract_pass(models, cfg)
@@ -222,6 +243,7 @@ def run_all_passes(models: list[cm.FileModel], cfg: dict, roster: set[str],
     findings += passes.run_shared_plain_pass(models, cfg)
     findings += passes.run_publication_pass(models, cfg, roster)
     findings += passes.run_codec_pass(models, cfg, codec_aux)
+    findings += passes.run_hb_pass(models, cfg, roster, scenarios)
     findings += passes.run_annotation_pass(models, cfg)
     return findings
 
@@ -239,11 +261,11 @@ def render(f: passes.Finding) -> str:
 def run_analysis(args) -> int:
     root = args.root.resolve()
     cfg = load_config(args.contracts)
-    roster, clauses = load_rosters(root, cfg)
+    roster, clauses, scenarios = load_rosters(root, cfg)
     models, malformed = build_models(root, cfg)
     codec_aux = load_codec_aux(root, cfg)
     findings = malformed + run_all_passes(models, cfg, roster, clauses,
-                                          codec_aux)
+                                          codec_aux, scenarios)
 
     if args.frontend in ("auto", "clang"):
         divergences, notes = clang_frontend.cross_check(
@@ -330,6 +352,20 @@ def run_analysis(args) -> int:
                 print(f"analyze: {target} is stale; regenerate with "
                       "`python3 tools/analyze/analyze.py "
                       f"--emit-publication-map {target}`", file=sys.stderr)
+                return 1
+
+    if args.emit_hb_map or args.check_hb_map:
+        text = passes.emit_hb_map(models, cfg)
+        target = args.emit_hb_map or args.check_hb_map
+        if args.emit_hb_map:
+            target.write_text(text)
+            print(f"analyze: wrote {target}", file=sys.stderr)
+        else:
+            on_disk = target.read_text() if target.is_file() else ""
+            if on_disk != text:
+                print(f"analyze: {target} is stale; regenerate with "
+                      "`python3 tools/analyze/analyze.py --emit-hb-map "
+                      f"{target}`", file=sys.stderr)
                 return 1
 
     if args.verbose or findings:
@@ -665,6 +701,81 @@ CODEC_AUX = {"tests/seed_test.cpp":
              "TEST(Seed, RoundTrip) { encode_payload(1); }\n"}
 
 
+# Pass 9 gets its own scoped config: the clean file proves a sync-kind edge
+# and a fence-kind (Dekker) edge; the bad file seeds one violation per hb
+# rule when run alongside it.
+HB_CLEAN_CONFIG = {
+    "hb": {
+        "scan_dirs": ["src/hb"],
+        "edge": [
+            {"name": "seed.flag.publish", "fields": ["Seed::flag_"],
+             "sync_point": "dcas.any", "why": "seeded sync edge"},
+            {"name": "seed.park.dekker", "kind": "fence",
+             "fields": ["Seed::parked_"], "sync_point": "pop.commit",
+             "why": "seeded Dekker edge"},
+        ],
+    },
+}
+
+HB_BAD_CONFIG = {
+    "hb": {
+        "scan_dirs": ["src/hb"],
+        "edge": HB_CLEAN_CONFIG["hb"]["edge"] + [
+            {"name": "seed.lonely", "fields": ["Seed::lone_"],
+             "sync_point": "dcas.any", "why": "seeded one-sided edge"},
+        ],
+    },
+}
+
+HB_CLEAN_SRC = (
+    "struct Seed {\n"
+    "  std::atomic<int> flag_;\n"
+    "  std::atomic<int> parked_;\n"
+    "  void pub() {\n"
+    "    // DCD_HB(seed.flag.publish, role=release)\n"
+    "    flag_.store(1, std::memory_order_release);\n"
+    "  }\n"
+    "  int get() {\n"
+    "    // DCD_HB(seed.flag.publish, role=acquire)\n"
+    "    return flag_.load(std::memory_order_acquire);\n"
+    "  }\n"
+    "  void park() {\n"
+    "    parked_.fetch_add(1, std::memory_order_relaxed);\n"
+    "    // DCD_HB(seed.park.dekker, role=fence-release)\n"
+    "    std::atomic_thread_fence(std::memory_order_seq_cst);\n"
+    "    recheck();\n"
+    "  }\n"
+    "  void wake() {\n"
+    "    // DCD_HB(seed.park.dekker, role=fence-acquire)\n"
+    "    std::atomic_thread_fence(std::memory_order_seq_cst);\n"
+    "    if (parked_.load(std::memory_order_relaxed) != 0) notify();\n"
+    "  }\n"
+    "  // DCD_HB_EXEMPT(seeded telemetry snapshot)\n"
+    "  int snap() { return parked_.load(std::memory_order_seq_cst); }\n"
+    "};\n")
+
+HB_BAD_SRC = (
+    "struct Seed {\n"
+    "  std::atomic<int> flag_;\n"
+    "  std::atomic<int> lone_;\n"
+    "  void ghost() {\n"
+    "    // DCD_HB(seed.bogus, role=release)\n"
+    "    flag_.store(1, std::memory_order_release);\n"   # unrostered edge
+    "  }\n"
+    "  void weak() {\n"
+    "    // DCD_HB(seed.flag.publish, role=release)\n"
+    "    flag_.store(1, std::memory_order_relaxed);\n"   # too weak
+    "  }\n"
+    "  void bare() {\n"
+    "    std::atomic_thread_fence(std::memory_order_seq_cst);\n"  # no edge
+    "  }\n"
+    "  int lonely_read() {\n"
+    "    // DCD_HB(seed.lonely, role=acquire)\n"
+    "    return lone_.load(std::memory_order_acquire);\n"  # no release side
+    "  }\n"
+    "};\n")
+
+
 def self_test() -> int:
     failures = []
     for path, source, expected in SELF_TEST_CASES:
@@ -858,13 +969,73 @@ def self_test() -> int:
     if got != ["codec-drift"]:
         failures.append(f"codec layout-drift seeded case got {got}")
 
+    # Pass 9: one seeded violation per hb rule (the clean file supplies the
+    # proven edges the bad file half-uses), then the clean file alone.
+    hclean_model, hclean_ann = cm.build_file_model(
+        "src/hb/hb_clean.hpp", HB_CLEAN_SRC, [])
+    hbad_model, hbad_ann = cm.build_file_model(
+        "src/hb/hb_bad.hpp", HB_BAD_SRC, [])
+    got = sorted(f.rule for f in passes.run_hb_pass(
+        [hbad_model, hclean_model], HB_BAD_CONFIG, SELF_TEST_ROSTER))
+    want = ["fence-without-edge", "insufficient-order-for-edge",
+            "one-sided-hb-edge", "unrostered-hb-edge"]
+    if got != want or hbad_ann or hclean_ann:
+        failures.append(f"hb seeded case: expected {want}, got {got}")
+
+    hf = passes.run_hb_pass([hclean_model], HB_CLEAN_CONFIG,
+                            SELF_TEST_ROSTER)
+    if hf:
+        failures.append("hb-clean seeded file produced findings: "
+                        + "; ".join(f.rule for f in hf))
+
+    # Deleting a fence-side DCD_HB must turn the tree red two ways: the
+    # fence loses its licence and the Dekker edge goes one-sided.
+    dropped = HB_CLEAN_SRC.replace(
+        "    // DCD_HB(seed.park.dekker, role=fence-acquire)\n", "")
+    hdrop_model, _ = cm.build_file_model("src/hb/hb_clean.hpp", dropped, [])
+    got = sorted(f.rule for f in passes.run_hb_pass(
+        [hdrop_model], HB_CLEAN_CONFIG, SELF_TEST_ROSTER))
+    if got != ["fence-without-edge", "one-sided-hb-edge"]:
+        failures.append(f"hb fence-deletion seeded case got {got}")
+
+    # Roster validation: an edge whose mc_scenario resolves nowhere (and
+    # has no endpoints) is unrostered + one-sided on both ends.
+    ghost_cfg = {"hb": {"scan_dirs": ["src/hb"], "edge": [
+        {"name": "seed.ghost", "fields": ["Seed::flag_"],
+         "mc_scenario": "not-a-scenario", "why": "seeded"}]}}
+    got = sorted(f.rule for f in passes.run_hb_pass(
+        [], ghost_cfg, SELF_TEST_ROSTER, {"list-mixed"}))
+    if got != ["one-sided-hb-edge", "one-sided-hb-edge",
+               "unrostered-hb-edge"]:
+        failures.append(f"hb ghost-scenario seeded case got {got}")
+
+    # The HB map renders both edge kinds, the endpoint table, and the
+    # exemption row from the clean file.
+    hmap = passes.emit_hb_map([hclean_model], HB_CLEAN_CONFIG)
+    for needle in ("## `seed.park.dekker` — fence",
+                   "`atomic_thread_fence(seq_cst)`",
+                   "`flag_.store(release)`", "chaos `dcas.any`",
+                   "seeded telemetry snapshot",
+                   "2 edges (1 fence-paired), 4 annotated endpoints"):
+        if needle not in hmap:
+            failures.append(f"hb map missing '{needle}'")
+
+    # A malformed DCD_HB / DCD_HB_EXEMPT is reported, not dropped.
+    _, bad = cm.build_file_model(
+        "src/hb/malformed.hpp",
+        "// DCD_HB(seed.flag.publish)\nvoid f();\n", [])
+    _, bad2 = cm.build_file_model(
+        "src/hb/malformed2.hpp", "// DCD_HB_EXEMPT()\nvoid g();\n", [])
+    if not bad or not bad2:
+        failures.append("malformed DCD_HB/DCD_HB_EXEMPT not reported")
+
     if failures:
         print("self-test FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 2
     print(f"self-test OK ({len(SELF_TEST_CASES)} seeded cases, "
-          "8 passes + annotation roster covered)")
+          "9 passes + annotation roster covered)")
     return 0
 
 
@@ -902,6 +1073,10 @@ def main() -> int:
                     default=None,
                     help="fail (exit 1) if the on-disk publication map is "
                          "stale")
+    ap.add_argument("--emit-hb-map", type=pathlib.Path, default=None,
+                    help="write the generated happens-before edge map")
+    ap.add_argument("--check-hb-map", type=pathlib.Path, default=None,
+                    help="fail (exit 1) if the on-disk HB map is stale")
     ap.add_argument("--strict", action="store_true",
                     help="unused suppressions are errors, not warnings")
     ap.add_argument("--self-test", action="store_true",

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""Fixture-tree corpus check for analyzer passes 5-8 + annotation roster.
+"""Fixture-tree corpus check for analyzer passes 2 + 5-9 + annotations.
 
-Runs the guard, shared-plain, publication, codec, and
-unknown-annotation passes over the mini-sources in
-tools/analyze/fixtures/: the good/ tree must analyze
-clean, and each bad/ file must produce exactly its expected rule
-multiset. This pins the passes' behaviour on curated inputs that are
+Runs the guard, shared-plain, publication, codec, hb, sync
+(notify-form, scoped to the executor exemplar), and unknown-annotation
+passes over the mini-sources in tools/analyze/fixtures/: the good/
+tree must analyze clean, and each bad/ file must produce exactly its
+expected rule multiset. This pins the passes' behaviour on curated inputs that are
 independent of the real tree — an analyzer regression that stops
 *finding* violations fails here even while the (clean) tree keeps
 passing --strict.
@@ -76,14 +76,38 @@ CONFIG = {
              "why": "fixture: rostered helper that does not exist"},
         ],
     },
+    "hb": {
+        "scan_dirs": ["fixtures"],
+        "edge": [
+            {"name": "fx.stop.latch", "fields": ["Pool::stop_"],
+             "sync_point": "exec.park",
+             "why": "fixture: shutdown latch"},
+            {"name": "fx.park.dekker", "kind": "fence",
+             "fields": ["Pool::parked_"], "sync_point": "exec.park",
+             "why": "fixture: eventcount Dekker pair"},
+            {"name": "fx.lonely", "fields": ["Bad::lone_"],
+             "sync_point": "exec.steal",
+             "why": "fixture: acquire side only, on purpose"},
+        ],
+    },
     "annotations": {
         "known": ["DCD_SYNC", "DCD_LP", "DCD_PROGRESS", "DCD_PUBLISHES",
-                  "DCD_REQUIRES_GUARD", "DCD_GUARD_EXEMPT"],
+                  "DCD_REQUIRES_GUARD", "DCD_GUARD_EXEMPT",
+                  "DCD_HB", "DCD_HB_EXEMPT"],
     },
 }
 
-# Sync points the publication fixtures' DCD_PUBLISHES may cite.
-ROSTER = {"dcas.any", "pop.commit"}
+# The sync pass runs scoped to the executor exemplar alone (exact-path
+# scan_dirs), against the exec slice of the roster: its notify-form
+# sites must claim all three points with no DCD_SYNC in sight.
+SYNC_CONFIG = {
+    "sync": {"scan_dirs": ["fixtures/good/clean_exec.hpp"], "pseudo": {}},
+}
+EXEC_ROSTER = {"exec.park", "exec.steal", "exec.inject"}
+
+# Sync points the publication fixtures' DCD_PUBLISHES may cite (plus the
+# exec points the [hb] fixture edges resolve against).
+ROSTER = {"dcas.any", "pop.commit"} | EXEC_ROSTER
 
 # file (relative to fixtures/) -> expected sorted rule list. good/ files
 # must be absent (no findings at all).
@@ -98,6 +122,9 @@ EXPECTED = {
         "unannotated-publication", "unpublished-field"],
     "bad/codec_violations.hpp": [
         "codec-drift", "raw-word-arithmetic", "raw-word-arithmetic"],
+    "bad/hb_violations.hpp": [
+        "fence-without-edge", "insufficient-order-for-edge",
+        "one-sided-hb-edge", "unrostered-hb-edge"],
 }
 
 
@@ -121,6 +148,8 @@ def main() -> int:
     findings += passes.run_shared_plain_pass(models, CONFIG)
     findings += passes.run_publication_pass(models, CONFIG, ROSTER)
     findings += passes.run_codec_pass(models, CONFIG)
+    findings += passes.run_hb_pass(models, CONFIG, ROSTER)
+    findings += passes.run_sync_pass(models, SYNC_CONFIG, EXEC_ROSTER)
     findings += passes.run_annotation_pass(models, CONFIG)
 
     by_file: dict[str, list[str]] = {}

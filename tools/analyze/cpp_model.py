@@ -271,6 +271,40 @@ class PublishAnnotation:
 
 
 @dataclasses.dataclass(frozen=True)
+class HbAnnotation:
+    """``// DCD_HB(edge, role=release|acquire|fence-release|fence-acquire)``
+    — declares the attached line as one endpoint of a rostered
+    happens-before edge (``[[hb.edge]]`` in contracts.toml). ``fence-*``
+    roles attach to ``std::atomic_thread_fence`` sites, plain roles to the
+    release store / acquire load / RMW that carries the edge."""
+    edge: str
+    role: str
+    path: str
+    line: int            # code line the annotation attaches to
+
+
+@dataclasses.dataclass(frozen=True)
+class HbExempt:
+    """``// DCD_HB_EXEMPT(why)`` — licenses an acquire-or-stronger load or
+    a fence that deliberately belongs to no rostered edge (quiescent
+    telemetry snapshots, heuristics)."""
+    why: str
+    path: str
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FenceSite:
+    """A ``std::atomic_thread_fence`` call — the token model's newest
+    first-class citizen (pass 9 proves the SC-fence Dekker edges)."""
+    order: str           # memory_order token ("seq_cst", "release", ...)
+    function: str        # best-effort enclosing function name
+    path: str
+    off: int             # offset in the masked text
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
 class CasSite:
     form: str            # "dcas" | "dcas_view" | "cas" | "std_cas" | "notify"
     callee: str          # e.g. "Dcas::dcas", "compare_exchange_weak", point name
@@ -340,6 +374,9 @@ class FileModel:
     lps: list[LpAnnotation] = dataclasses.field(default_factory=list)
     publishes: list[PublishAnnotation] = dataclasses.field(
         default_factory=list)
+    hbs: list[HbAnnotation] = dataclasses.field(default_factory=list)
+    hb_exempts: list[HbExempt] = dataclasses.field(default_factory=list)
+    fences: list[FenceSite] = dataclasses.field(default_factory=list)
     lines: list[str] = dataclasses.field(default_factory=list)
     funcs: list[FuncModel] = dataclasses.field(default_factory=list)
     masked: str = ""
@@ -369,6 +406,10 @@ LP_RE = re.compile(
     r"(?:(?P<aux>aux)\s*,\s*)?"
     r"inv=(?P<inv>[a-z_.+]+)\s*,\s*"
     r'"(?P<cond>[^"]*)"\s*\)')
+HB_RE = re.compile(
+    r"DCD_HB\(\s*(?P<edge>[a-z0-9_.\-]+)\s*,\s*"
+    r"role=(?P<role>release|acquire|fence-release|fence-acquire)\s*\)")
+HB_EXEMPT_RE = re.compile(r"DCD_HB_EXEMPT\(\s*([^)]+?)\s*\)")
 
 
 def _attach_line(code_lines: list[str], comment_line: int,
@@ -412,12 +453,16 @@ def parse_annotations(path: str, comments: list[tuple[int, str]],
                       code_lines: list[str]
                       ) -> tuple[list[SyncAnnotation], list[LpAnnotation],
                                  dict[int, str], list[PublishAnnotation],
+                                 list[HbAnnotation], list[HbExempt],
                                  list[tuple[int, str]]]:
-    """Returns (syncs, lps, progress-by-attached-line, publishes, malformed)."""
+    """Returns (syncs, lps, progress-by-attached-line, publishes, hbs,
+    hb_exempts, malformed)."""
     syncs: list[SyncAnnotation] = []
     lps: list[LpAnnotation] = []
     progress: dict[int, str] = {}
     publishes: list[PublishAnnotation] = []
+    hbs: list[HbAnnotation] = []
+    hb_exempts: list[HbExempt] = []
     malformed: list[tuple[int, str]] = []
     for start, nlines, text, trailing in _joined_comment_blocks(comments,
                                                                 code_lines):
@@ -457,7 +502,26 @@ def parse_annotations(path: str, comments: list[tuple[int, str]],
                        for pm in PUBLISHES_RE.finditer(text)):
                 malformed.append((start, "DCD_PUBLISHES does not match the "
                                   "grammar DCD_PUBLISHES(point, f1+f2)"))
-    return syncs, lps, progress, publishes, malformed
+        for m in HB_RE.finditer(text):
+            hbs.append(HbAnnotation(m.group("edge"), m.group("role"),
+                                    path, attach))
+        for m in HB_EXEMPT_RE.finditer(text):
+            hb_exempts.append(HbExempt(m.group(1), path, attach))
+        # A DCD_HB( / DCD_HB_EXEMPT( failing the full grammar is malformed,
+        # never silently dropped. (DCD_HB\( cannot match the _EXEMPT form:
+        # the next char there is '_', not '('.)
+        for m in re.finditer(r"DCD_HB\(", text):
+            if not any(hm.start() == m.start()
+                       for hm in HB_RE.finditer(text)):
+                malformed.append((start, "DCD_HB does not match the grammar "
+                                  "DCD_HB(edge, role=release|acquire|"
+                                  "fence-release|fence-acquire)"))
+        for m in re.finditer(r"DCD_HB_EXEMPT\(", text):
+            if not any(hm.start() == m.start()
+                       for hm in HB_EXEMPT_RE.finditer(text)):
+                malformed.append((start,
+                                  "DCD_HB_EXEMPT with no justification"))
+    return syncs, lps, progress, publishes, hbs, hb_exempts, malformed
 
 
 # --- extraction ------------------------------------------------------------
@@ -692,6 +756,24 @@ def extract_cas_sites(path: str, masked: str,
         sites.append(CasSite("std_cas", m.group(1), func, path,
                              line_of(masked, m.start())))
     return sites
+
+
+_FENCE_RE = re.compile(
+    r"\b(?:std::)?atomic_thread_fence\s*\(\s*"
+    r"std::memory_order(?:::|_)(\w+)\s*\)")
+
+
+def extract_fences(path: str, masked: str,
+                   scopes: list[Scope]) -> list[FenceSite]:
+    """Every ``std::atomic_thread_fence`` call, with its offset kept so the
+    hb pass can check the fence+adjacent-access shape inside the enclosing
+    function."""
+    out = []
+    for m in _FENCE_RE.finditer(masked):
+        func = enclosing(scopes, m.start(), "func") or ""
+        out.append(FenceSite(m.group(1), func, path, m.start(),
+                             line_of(masked, m.start())))
+    return out
 
 
 def extract_notify_sites(path: str, text: str,
@@ -1279,10 +1361,12 @@ def build_file_model(path: str, text: str,
         path, masked, model.fields, scopes)
     model.cas_sites = extract_cas_sites(path, masked, scopes)
     model.cas_sites += extract_notify_sites(path, text, scopes)
-    syncs, lps, progress, publishes, malformed = parse_annotations(
-        path, comments, lines)
+    model.fences = extract_fences(path, masked, scopes)
+    (syncs, lps, progress, publishes, hbs, hb_exempts,
+     malformed) = parse_annotations(path, comments, lines)
     model.syncs, model.lps = syncs, lps
     model.publishes = publishes
+    model.hbs, model.hb_exempts = hbs, hb_exempts
     model.loops = extract_loops(path, masked, model.cas_sites,
                                 progress_tokens, progress)
     model.funcs = extract_funcs(path, masked, scopes, guard_cfg)
@@ -1305,3 +1389,13 @@ def parse_sync_roster(registry_text: str) -> set[str]:
 def parse_auditor_roster(auditor_text: str) -> set[str]:
     """RepAuditor clause names (base names, [..] diagnostics stripped)."""
     return set(AUDIT_CLAUSE_RE.findall(auditor_text))
+
+
+# Scenario names assigned in src/mc/src/scenario.cpp. Dynamically built
+# names (`"array-n" + std::to_string(n) + ...`) contribute only their
+# literal prefix, which no [[hb.edge]] row should reference.
+SCENARIO_NAME_RE = re.compile(r'\.name\s*=\s*"([a-z0-9.\-]+)"')
+
+
+def parse_scenario_roster(scenario_text: str) -> set[str]:
+    return set(SCENARIO_NAME_RE.findall(scenario_text))

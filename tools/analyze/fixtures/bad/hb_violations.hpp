@@ -1,0 +1,35 @@
+// Seeded pass-9 violations, one per hb rule. The [hb] fixture config in
+// check_fixtures.py rosters fx.stop.latch (sync), fx.park.dekker (fence)
+// and fx.lonely (sync, acquire-side only — on purpose); fx.ghost has no
+// roster row at all.
+#pragma once
+
+#include <atomic>
+
+struct Bad {
+  std::atomic<int> stop_;
+  std::atomic<int> lone_;
+
+  // unrostered-hb-edge: the named edge has no [[hb.edge]] row.
+  void ghost() {
+    // DCD_HB(fx.ghost, role=release)
+    stop_.store(1, std::memory_order_release);
+  }
+
+  // insufficient-order-for-edge: a relaxed store cannot head an edge.
+  void weak() {
+    // DCD_HB(fx.stop.latch, role=release)
+    stop_.store(1, std::memory_order_relaxed);
+  }
+
+  // fence-without-edge: a fence that belongs to no rostered edge.
+  void bare() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  // one-sided-hb-edge: fx.lonely only ever gets this acquire side.
+  int lonely() {
+    // DCD_HB(fx.lonely, role=acquire)
+    return lone_.load(std::memory_order_acquire);
+  }
+};

@@ -1,0 +1,58 @@
+// Executor-shaped exemplar: notify-form sync points (the qualified
+// constant IS the claim — no DCD_SYNC needed), a Dekker eventcount
+// park/wake pair proven as a fence-kind hb edge, and a shutdown latch
+// proven as a sync-kind edge. Pins the analyzer's handling of the
+// src/exec idioms on a corpus input independent of the real tree.
+#pragma once
+
+#include <atomic>
+
+struct Pool {
+  std::atomic<bool> stop_{false};
+  std::atomic<int> parked_{0};
+
+  void shutdown() {
+    // DCD_HB(fx.stop.latch, role=release)
+    stop_.store(true, std::memory_order_release);
+    wake_all();
+  }
+
+  bool stopping() const {
+    // DCD_HB(fx.stop.latch, role=acquire)
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  void inject(dcas::ChaosController* c) {
+    push_inbox();
+    c->notify(sync_point::kExecInject);
+    wake_one();
+  }
+
+  // Producer half of the Dekker handshake: publish the push, fence, then
+  // read the sleeper count.
+  void wake_one() {
+    // DCD_HB(fx.park.dekker, role=fence-acquire)
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_relaxed) != 0) notify_worker();
+  }
+
+  // Consumer half: advertise, fence, re-sweep; park only when the
+  // re-sweep stays dry.
+  void park(dcas::ChaosController* c) {
+    parked_.fetch_add(1, std::memory_order_relaxed);
+    // DCD_HB(fx.park.dekker, role=fence-release)
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (resweep()) {
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    c->notify(sync_point::kExecPark);
+    block_until_woken();
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void steal(dcas::ChaosController* c) {
+    c->notify(sync_point::kExecSteal);
+    take_from_victim();
+  }
+};

@@ -16,6 +16,13 @@ Pass 8  codec        word-encoding value flow: raw bit arithmetic on values
                      live in the [codec]-rostered helpers, which are
                      themselves cross-checked against the compile-time
                      tag-disjointness audit
+Pass 9  hb           happens-before edge prover: every [[hb.edge]] roster
+                     row has DCD_HB-annotated release- and acquire-side
+                     endpoints with sufficient orders (SC-fence shape for
+                     fence edges), every acquire-or-stronger load and every
+                     atomic_thread_fence is licensed by an edge or a
+                     DCD_HB_EXEMPT, and every edge cross-references a chaos
+                     sync point or mc scenario that exercises it
 
 Plus the annotation-roster check (`unknown-annotation`): a DCD_* token
 outside the known roster is a finding, so a typo in a load-bearing
@@ -1331,5 +1338,388 @@ def emit_publication_map(models: list[cm.FileModel], cfg: dict) -> str:
     out.append("")
     out.append(f"{n_sites} publishing stores; {n_verified} field writes "
                f"verified textually, {n_vouched} vouched by licence.")
+    out.append("")
+    return "\n".join(out)
+
+# --------------------------------------------------------------------------
+# Pass 9: happens-before edge prover
+# --------------------------------------------------------------------------
+
+HB_RELEASE_ROLES = {"release", "fence-release"}
+HB_ACQUIRE_ROLES = {"acquire", "fence-acquire"}
+HB_FENCE_ROLES = {"fence-release", "fence-acquire"}
+
+# How far around a fence (within its enclosing function) the pass looks for
+# the relaxed access that completes the SC-fence shape. Generous: the shape
+# check guards against a fence annotated onto an edge whose fields the
+# surrounding code never touches, not against formatting.
+FENCE_ADJACENCY_SPAN = 800
+
+
+def _hb_field_names(edge: dict) -> set[str]:
+    """Bare member names from the edge's `fields` list (``Owner::member``
+    rows keep the owner for display; accesses only know the member)."""
+    return {str(f).split("::")[-1] for f in edge.get("fields", [])}
+
+
+def _hb_order(acc: cm.AtomicAccess) -> str:
+    """Effective order of an access: the success order of a CAS, seq_cst
+    when no order argument was given."""
+    return acc.orders[0] if acc.orders else "seq_cst"
+
+
+def _func_span(model: cm.FileModel, off: int) -> tuple[int, int]:
+    best = None
+    for fn in model.funcs:
+        if fn.header_off <= off <= fn.close_off:
+            if best is None or fn.header_off > best.header_off:
+                best = fn
+    if best is None:
+        return 0, len(model.masked)
+    return best.header_off, best.close_off
+
+
+def _fence_has_adjacent_field(model: cm.FileModel, fence: cm.FenceSite,
+                              fields: set[str], before: bool) -> bool:
+    lo, hi = _func_span(model, fence.off)
+    if before:
+        lo, hi = max(lo, fence.off - FENCE_ADJACENCY_SPAN), fence.off
+    else:
+        lo, hi = fence.off, min(hi, fence.off + FENCE_ADJACENCY_SPAN)
+    window = model.masked[lo:hi]
+    return any(re.search(r"\b" + re.escape(f) + r"\b", window)
+               for f in fields)
+
+
+def _validate_hb_roster(edges: list, roster: set[str], scenarios: set[str],
+                        origin: str) -> tuple[dict, list[Finding]]:
+    """Checks the [[hb.edge]] rows themselves; returns (rows-by-name,
+    findings). Every edge must resolve to a tested artifact: a chaos
+    sync point (roster or declared pseudo-point) or an mc scenario."""
+    findings: list[Finding] = []
+    by_name: dict[str, dict] = {}
+    for e in edges:
+        name = str(e.get("name", ""))
+        if not name:
+            findings.append(Finding(
+                "hb", "unrostered-hb-edge", origin, 0,
+                "[[hb.edge]] row with no name"))
+            continue
+        if name in by_name:
+            findings.append(Finding(
+                "hb", "unrostered-hb-edge", origin, 0,
+                f"[[hb.edge]] '{name}' is declared twice"))
+            continue
+        by_name[name] = e
+        if e.get("kind", "sync") not in ("sync", "fence"):
+            findings.append(Finding(
+                "hb", "unrostered-hb-edge", origin, 0,
+                f"[[hb.edge]] '{name}' has unknown kind "
+                f"'{e.get('kind')}' (expected sync or fence)"))
+        if not _hb_field_names(e):
+            findings.append(Finding(
+                "hb", "unrostered-hb-edge", origin, 0,
+                f"[[hb.edge]] '{name}' has an empty fields list: an edge "
+                "with no fields can license nothing"))
+        sp = str(e.get("sync_point", ""))
+        sc = str(e.get("mc_scenario", ""))
+        if not sp and not sc:
+            findings.append(Finding(
+                "hb", "unrostered-hb-edge", origin, 0,
+                f"[[hb.edge]] '{name}' names neither a sync_point nor an "
+                "mc_scenario: a proven edge must also be a tested edge"))
+        if sp and sp not in roster:
+            findings.append(Finding(
+                "hb", "unrostered-hb-edge", origin, 0,
+                f"[[hb.edge]] '{name}' sync_point '{sp}' is not in the "
+                "chaos.hpp roster"))
+        if sc and sc not in scenarios:
+            findings.append(Finding(
+                "hb", "unrostered-hb-edge", origin, 0,
+                f"[[hb.edge]] '{name}' mc_scenario '{sc}' is not a "
+                "scenario name in src/mc"))
+    return by_name, findings
+
+
+def run_hb_pass(models: list[cm.FileModel], cfg: dict, roster: set[str],
+                scenarios: set[str] | None = None) -> list[Finding]:
+    findings: list[Finding] = []
+    hcfg = cfg.get("hb", {})
+    edges = hcfg.get("edge", [])
+    scan_dirs = hcfg.get("scan_dirs", [])
+    if not edges and not scan_dirs:
+        return findings
+    origin = hcfg.get("origin", "contracts.toml")
+
+    by_name, roster_findings = _validate_hb_roster(
+        edges, roster, scenarios or set(), origin)
+    findings += roster_findings
+
+    # --- endpoint sweep: each DCD_HB must land on a compatible site ------
+    endpoints: dict[str, list[tuple[str, str, int]]] = {
+        name: [] for name in by_name}
+    for model in models:
+        if not _in_dirs(model.path, scan_dirs):
+            continue
+        acc_by_line: dict[int, list[cm.AtomicAccess]] = {}
+        for a in model.accesses:
+            acc_by_line.setdefault(a.line, []).append(a)
+        fence_by_line: dict[int, list[cm.FenceSite]] = {}
+        for f in model.fences:
+            fence_by_line.setdefault(f.line, []).append(f)
+        for ann in model.hbs:
+            edge = by_name.get(ann.edge)
+            if edge is None:
+                findings.append(Finding(
+                    "hb", "unrostered-hb-edge", ann.path, ann.line,
+                    f"DCD_HB names edge '{ann.edge}' which has no "
+                    "[[hb.edge]] roster row in contracts.toml",
+                    _snippet(model, ann.line)))
+                continue
+            fields = _hb_field_names(edge)
+            kind = edge.get("kind", "sync")
+            if ann.role in HB_FENCE_ROLES:
+                fences = fence_by_line.get(ann.line, [])
+                if not fences:
+                    findings.append(Finding(
+                        "hb", "unrostered-hb-edge", ann.path, ann.line,
+                        f"DCD_HB({ann.edge}, role={ann.role}) attaches to a "
+                        "line with no std::atomic_thread_fence call",
+                        _snippet(model, ann.line)))
+                    continue
+                fence = fences[0]
+                # SC (Dekker) edges need seq_cst fences; a sync-kind edge
+                # routed through a fence needs at least the directional
+                # strength of the claimed role.
+                need = ({"seq_cst"} if kind == "fence"
+                        else (RELEASING_WRITE if ann.role == "fence-release"
+                              else ACQUIRING_READ))
+                if fence.order not in need:
+                    findings.append(Finding(
+                        "hb", "insufficient-order-for-edge", ann.path,
+                        ann.line,
+                        f"atomic_thread_fence({fence.order}) is too weak "
+                        f"for role={ann.role} on {kind}-kind edge "
+                        f"'{ann.edge}' (need {sorted(need)})",
+                        _snippet(model, ann.line)))
+                elif not _fence_has_adjacent_field(
+                        model, fence, fields,
+                        before=(ann.role == "fence-release")):
+                    where = ("before" if ann.role == "fence-release"
+                             else "after")
+                    findings.append(Finding(
+                        "hb", "insufficient-order-for-edge", ann.path,
+                        ann.line,
+                        f"role={ann.role} fence has no access to any of "
+                        f"edge '{ann.edge}''s fields ({sorted(fields)}) "
+                        f"{where} it in the enclosing function — the "
+                        "fence+adjacent-access SC-fence shape is missing",
+                        _snippet(model, ann.line)))
+                endpoints[ann.edge].append((ann.role, ann.path, ann.line))
+            else:
+                cands = [a for a in acc_by_line.get(ann.line, [])
+                         if a.member in fields]
+                if not cands:
+                    findings.append(Finding(
+                        "hb", "unrostered-hb-edge", ann.path, ann.line,
+                        f"DCD_HB({ann.edge}, role={ann.role}) attaches to "
+                        "a line with no atomic access to the edge's fields "
+                        f"({sorted(fields)})",
+                        _snippet(model, ann.line)))
+                    continue
+                a = cands[0]
+                order = _hb_order(a)
+                if ann.role == "release":
+                    if a.op == "load" or order not in RELEASING_WRITE:
+                        findings.append(Finding(
+                            "hb", "insufficient-order-for-edge", ann.path,
+                            ann.line,
+                            f"role=release endpoint {a.member}.{a.op}"
+                            f"({order}) cannot head edge '{ann.edge}': "
+                            "need a store/RMW/CAS with release, acq_rel "
+                            "or seq_cst",
+                            _snippet(model, ann.line)))
+                else:  # acquire
+                    if a.op == "store" or order not in ACQUIRING_READ:
+                        findings.append(Finding(
+                            "hb", "insufficient-order-for-edge", ann.path,
+                            ann.line,
+                            f"role=acquire endpoint {a.member}.{a.op}"
+                            f"({order}) cannot complete edge "
+                            f"'{ann.edge}': need a load/RMW/CAS with "
+                            "acquire, acq_rel or seq_cst",
+                            _snippet(model, ann.line)))
+                endpoints[ann.edge].append((ann.role, ann.path, ann.line))
+
+    # --- two-sidedness: an edge with endpoints on one side only ----------
+    for name in sorted(by_name):
+        eps = endpoints[name]
+        for side, roles in (("release", HB_RELEASE_ROLES),
+                            ("acquire", HB_ACQUIRE_ROLES)):
+            if not any(r in roles for r, _, _ in eps):
+                path = eps[0][1] if eps else origin
+                line = eps[0][2] if eps else 0
+                findings.append(Finding(
+                    "hb", "one-sided-hb-edge", path, line,
+                    f"[[hb.edge]] '{name}' has no {side}-side endpoint "
+                    f"(no DCD_HB with role in {sorted(roles)}): the edge "
+                    "is asserted but only half-proven"))
+
+    # --- licensing sweep: acquire-or-stronger loads and all fences -------
+    licensed_fields: set[str] = set()
+    for e in by_name.values():
+        licensed_fields |= _hb_field_names(e)
+    for model in models:
+        if not _in_dirs(model.path, scan_dirs):
+            continue
+        hb_lines = {a.line for a in model.hbs}
+        exempt_lines = {x.line for x in model.hb_exempts}
+        acq_load_lines: set[int] = set()
+        for a in model.accesses:
+            if a.op != "load" or _hb_order(a) not in ACQUIRING_READ:
+                continue
+            acq_load_lines.add(a.line)
+            if a.line in hb_lines or a.line in exempt_lines:
+                continue
+            if a.member in licensed_fields:
+                continue
+            findings.append(Finding(
+                "hb", "unrostered-hb-edge", a.path, a.line,
+                f"acquire-or-stronger load of '{a.member}' is covered by "
+                "no [[hb.edge]] row's fields and carries no DCD_HB / "
+                "DCD_HB_EXEMPT: the ordering it relies on is unproven",
+                _snippet(model, a.line)))
+        for f in model.fences:
+            if f.line in exempt_lines:
+                continue
+            if any(a.line == f.line and a.role in HB_FENCE_ROLES
+                   for a in model.hbs):
+                continue
+            findings.append(Finding(
+                "hb", "fence-without-edge", f.path, f.line,
+                f"atomic_thread_fence({f.order}) in "
+                f"{f.function or '?'}() belongs to no rostered "
+                "happens-before edge: annotate with DCD_HB(edge, "
+                "role=fence-release|fence-acquire) or DCD_HB_EXEMPT(why)",
+                _snippet(model, f.line)))
+        fence_lines = {f.line for f in model.fences}
+        for x in model.hb_exempts:
+            if x.line not in acq_load_lines and x.line not in fence_lines:
+                findings.append(Finding(
+                    "hb", "unrostered-hb-edge", x.path, x.line,
+                    "DCD_HB_EXEMPT attaches to a line with no "
+                    "acquire-or-stronger load and no fence",
+                    _snippet(model, x.line)))
+    return findings
+
+
+def emit_hb_map(models: list[cm.FileModel], cfg: dict) -> str:
+    """docs/HB_MAP.md — the proven synchronizes-with edges, one section per
+    [[hb.edge]] row, in the PROOF_MAP/GUARD_MAP/PUBLICATION_MAP style."""
+    hcfg = cfg.get("hb", {})
+    edges = hcfg.get("edge", [])
+    scan_dirs = hcfg.get("scan_dirs", [])
+    by_name = {str(e.get("name", "")): e for e in edges}
+
+    # (edge -> [(role, path, line, label)]), plus the licensing tallies.
+    details: dict[str, list[tuple[str, str, int, str]]] = {
+        n: [] for n in by_name}
+    exemptions: list[tuple[str, int, str]] = []
+    licensed_fields: set[str] = set()
+    for e in edges:
+        licensed_fields |= _hb_field_names(e)
+    n_field_licensed = 0
+    for model in models:
+        if not _in_dirs(model.path, scan_dirs):
+            continue
+        acc_by_line: dict[int, list[cm.AtomicAccess]] = {}
+        for a in model.accesses:
+            acc_by_line.setdefault(a.line, []).append(a)
+        fence_by_line = {f.line: f for f in model.fences}
+        hb_lines = {a.line for a in model.hbs}
+        exempt_lines = {x.line for x in model.hb_exempts}
+        for ann in model.hbs:
+            if ann.edge not in by_name:
+                continue
+            fields = _hb_field_names(by_name[ann.edge])
+            if ann.role in HB_FENCE_ROLES:
+                f = fence_by_line.get(ann.line)
+                label = (f"atomic_thread_fence({f.order})" if f else "?")
+            else:
+                a = next((a for a in acc_by_line.get(ann.line, [])
+                          if a.member in fields), None)
+                label = (f"{a.member}.{a.op}({_hb_order(a)})" if a else "?")
+            details[ann.edge].append((ann.role, ann.path, ann.line, label))
+        for x in model.hb_exempts:
+            exemptions.append((x.path, x.line, " ".join(x.why.split())))
+        for a in model.accesses:
+            if (a.op == "load" and _hb_order(a) in ACQUIRING_READ
+                    and a.line not in hb_lines
+                    and a.line not in exempt_lines
+                    and a.member in licensed_fields):
+                n_field_licensed += 1
+
+    out = [
+        "# Happens-Before Edge Map",
+        "",
+        "<!-- GENERATED FILE — do not edit by hand. -->",
+        "<!-- Regenerate: python3 tools/analyze/analyze.py"
+        " --emit-hb-map docs/HB_MAP.md -->",
+        "",
+        "Every intended synchronizes-with edge in the concurrent core",
+        "(`[[hb.edge]]` in tools/analyze/contracts.toml), with its",
+        "DCD_HB-annotated release-side and acquire-side endpoints and the",
+        "chaos sync point or mc scenario that exercises it. `fence-*`",
+        "roles are `std::atomic_thread_fence` endpoints (the SC-fence",
+        "Dekker shape); plain roles are release/acquire accesses. Checked",
+        "by analyzer pass 9 (`tools/analyze/README.md`).",
+        "",
+    ]
+    n_endpoints = 0
+    n_fence_edges = 0
+    for name in sorted(by_name):
+        e = by_name[name]
+        kind = e.get("kind", "sync")
+        if kind == "fence":
+            n_fence_edges += 1
+        out.append(f"## `{name}` — {kind}")
+        out.append("")
+        why = " ".join(str(e.get("why", "")).split())
+        if why:
+            out.append(why)
+            out.append("")
+        fields = ", ".join(f"`{f}`" for f in e.get("fields", []))
+        tested = []
+        if e.get("sync_point"):
+            tested.append(f"chaos `{e['sync_point']}`")
+        if e.get("mc_scenario"):
+            tested.append(f"mc `{e['mc_scenario']}`")
+        out.append(f"Fields: {fields} · Tested by: "
+                   f"{' and '.join(tested) if tested else '—'}")
+        out.append("")
+        out.append("| Role | Site | Endpoint |")
+        out.append("|---|---|---|")
+        eps = sorted(details.get(name, []),
+                     key=lambda d: (d[0] not in HB_RELEASE_ROLES,
+                                    d[1], d[2]))
+        for role, path, line, label in eps:
+            out.append(f"| {role} | `{path}:{line}` | `{label}` |")
+            n_endpoints += 1
+        out.append("")
+    if exemptions:
+        out.append("## Exemptions")
+        out.append("")
+        out.append("Acquire loads / fences that deliberately belong to no")
+        out.append("edge, each with its DCD_HB_EXEMPT justification:")
+        out.append("")
+        out.append("| Site | Why |")
+        out.append("|---|---|")
+        for path, line, why in sorted(exemptions):
+            out.append(f"| `{path}:{line}` | {why} |")
+        out.append("")
+    out.append(f"{len(by_name)} edges ({n_fence_edges} fence-paired), "
+               f"{n_endpoints} annotated endpoints, {n_field_licensed} "
+               "acquire loads licensed by edge-field membership, "
+               f"{len(exemptions)} exemptions.")
     out.append("")
     return "\n".join(out)

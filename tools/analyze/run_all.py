@@ -1,26 +1,35 @@
 #!/usr/bin/env python3
 """Single entry point for the repo's static-analysis gate.
 
-Runs, in order, every python-side check CI's `analyze` job and the
-ctest `analyze-all` target need:
+Runs every python-side check CI's `analyze` job and the ctest
+`analyze-all` target need:
 
   1. shared suppression-module self-test (tools/pylib/suppressions.py)
   2. atomics-audit self-test + strict tree run (tools/lint)
-  3. analyzer self-test + strict tree run, passes 1-8 (tools/analyze)
+  3. analyzer self-test + strict tree run, passes 1-9 (tools/analyze)
   4. proof-map drift gate (docs/PROOF_MAP.md vs DCD_LP annotations)
   5. guard-map drift gate (docs/GUARD_MAP.md vs guard annotations)
   6. publication-map drift gate (docs/PUBLICATION_MAP.md vs pass 7)
-  7. fixture corpus for passes 5-8 + annotation roster
-  8. (with --require-clang) the clang-frontend cross-check as a gate
+  7. hb-map drift gate (docs/HB_MAP.md vs the [[hb.edge]] roster)
+  8. fixture corpus for passes 2 + 5-9 + annotation roster
+  9. (with --require-clang) the clang-frontend cross-check as a gate
 
 Every step is executed regardless of earlier failures and timed, so a
-single invocation reports the whole gate's state at a glance. Exit 0
-iff all pass; `--list` prints the step names and exits.
+single invocation reports the whole gate's state at a glance. The
+steps are independent of each other (each is a fresh subprocess over
+the committed tree), so `--jobs N` runs them concurrently with
+captured, serialised output. `--timings-json` records per-step wall
+times for the CI artifact; `--findings-json` makes the strict
+analyzer step emit its machine-readable findings to the given path so
+a red gate is diagnosable without a local rerun. Exit 0 iff all pass;
+`--list` prints the step names and exits.
 """
 
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
+import json
 import pathlib
 import subprocess
 import sys
@@ -38,6 +47,10 @@ def build_steps(args: argparse.Namespace,
     if args.build_dir is not None:
         tree += ["--build-dir", str(args.build_dir)]
 
+    strict = tree + ["--strict"]
+    if args.findings_json is not None:
+        strict = strict + ["--json", str(args.findings_json)]
+
     steps: list[tuple[str, list[str]]] = [
         ("suppressions self-test",
          [py, str(root / "tools/pylib/suppressions.py"), "--self-test"]),
@@ -47,7 +60,7 @@ def build_steps(args: argparse.Namespace,
          [py, str(root / "tools/lint/atomics_audit.py"),
           "--root", str(root), "--strict"]),
         ("analyzer self-test", analyze + ["--self-test"]),
-        ("analyzer strict", tree + ["--strict"]),
+        ("analyzer strict", strict),
         ("proof-map drift",
          tree + ["--check-proof-map", str(root / "docs/PROOF_MAP.md")]),
         ("guard-map drift",
@@ -55,6 +68,8 @@ def build_steps(args: argparse.Namespace,
         ("publication-map drift",
          tree + ["--check-publication-map",
                  str(root / "docs/PUBLICATION_MAP.md")]),
+        ("hb-map drift",
+         tree + ["--check-hb-map", str(root / "docs/HB_MAP.md")]),
         ("fixture corpus",
          [py, str(HERE / "check_fixtures.py")]),
     ]
@@ -65,6 +80,20 @@ def build_steps(args: argparse.Namespace,
         steps.append(("clang frontend cross-check (gating)",
                       tree + ["--frontend", "clang", "--strict"]))
     return steps
+
+
+def run_step(name: str, cmd: list[str], root: pathlib.Path,
+             capture: bool) -> tuple[str, float, bool, str]:
+    t0 = time.monotonic()
+    if capture:
+        proc = subprocess.run(cmd, cwd=root, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+        out = proc.stdout
+    else:
+        print(f"=== run_all: {name} ===", flush=True)
+        proc = subprocess.run(cmd, cwd=root)
+        out = ""
+    return name, time.monotonic() - t0, proc.returncode == 0, out
 
 
 def main() -> int:
@@ -80,6 +109,16 @@ def main() -> int:
     ap.add_argument("--require-clang", action="store_true",
                     help="add a gating clang-frontend step (fails when the "
                          "clang python bindings are unavailable)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="run up to N steps concurrently (they are "
+                         "independent subprocesses); output is captured "
+                         "and printed per step in submission order")
+    ap.add_argument("--timings-json", type=pathlib.Path, default=None,
+                    help="write per-step wall times (and pass/fail) as "
+                         "JSON to this path — CI uploads it as an artifact")
+    ap.add_argument("--findings-json", type=pathlib.Path, default=None,
+                    help="pass --json to the strict analyzer step so its "
+                         "machine-readable findings land at this path")
     ap.add_argument("--list", action="store_true",
                     help="print the step names and exit without running")
     args = ap.parse_args()
@@ -91,24 +130,45 @@ def main() -> int:
             print(name)
         return 0
 
-    failed: list[str] = []
-    timings: list[tuple[str, float, bool]] = []
-    for name, cmd in steps:
-        print(f"=== run_all: {name} ===", flush=True)
-        t0 = time.monotonic()
-        ok = subprocess.run(cmd, cwd=root).returncode == 0
-        timings.append((name, time.monotonic() - t0, ok))
-        if not ok:
-            failed.append(name)
+    jobs = max(1, args.jobs)
+    results: list[tuple[str, float, bool, str]]
+    t_start = time.monotonic()
+    if jobs == 1:
+        results = [run_step(name, cmd, root, capture=False)
+                   for name, cmd in steps]
+    else:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as ex:
+            futs = [ex.submit(run_step, name, cmd, root, True)
+                    for name, cmd in steps]
+            results = [f.result() for f in futs]
+        for name, _, ok, out in results:
+            print(f"=== run_all: {name} ({'ok' if ok else 'FAIL'}) ===",
+                  flush=True)
+            if out:
+                sys.stdout.write(out)
+    wall = time.monotonic() - t_start
 
-    width = max(len(name) for name, _, _ in timings)
+    failed = [name for name, _, ok, _ in results if not ok]
+    width = max(len(name) for name, _, _, _ in results)
     print("--- run_all timings ---")
-    for name, dt, ok in timings:
+    for name, dt, ok, _ in results:
         print(f"  {name:<{width}}  {dt:7.2f}s  {'ok' if ok else 'FAIL'}")
+
+    if args.timings_json is not None:
+        payload = {
+            "schema": 1,
+            "jobs": jobs,
+            "wall_seconds": round(wall, 3),
+            "steps": [{"name": name, "seconds": round(dt, 3), "ok": ok}
+                      for name, dt, ok, _ in results],
+        }
+        args.timings_json.write_text(json.dumps(payload, indent=2) + "\n")
+
     if failed:
         print(f"run_all: FAILED ({', '.join(failed)})", file=sys.stderr)
         return 1
-    print(f"run_all: OK ({len(steps)} steps)")
+    print(f"run_all: OK ({len(steps)} steps, {wall:.2f}s wall, "
+          f"jobs={jobs})")
     return 0
 
 
